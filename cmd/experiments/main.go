@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table of Blohsfeld/Korus/Seeger (SIGMOD 1999) as data series printed to
+// stdout.
+//
+// Usage:
+//
+//	experiments [-run all|table2,fig3,...] [-queries N] [-samples N] [-seed S]
+//
+// With the defaults (1,000 queries per workload, 2,000 samples — the
+// paper's configuration) a full run takes a few tens of seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"selest/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids to run, or 'all' (ids: "+strings.Join(experiments.IDs(), ", ")+")")
+		queries = flag.Int("queries", 1000, "queries per workload (paper: 1000)")
+		samples = flag.Int("samples", 2000, "sample-set size (paper: 2000)")
+		seed    = flag.Uint64("seed", 0, "RNG seed (0 = the default catalog seed)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		raw     = flag.Bool("raw", false, "also print every series point (the raw figure data)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.AllDrivers() {
+			fmt.Printf("%-8s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	env := experiments.NewEnv(experiments.Config{
+		Seed:       *seed,
+		SampleSize: *samples,
+		QueryCount: *queries,
+	})
+
+	var drivers []experiments.Driver
+	if *run == "all" {
+		drivers = experiments.AllDrivers()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			d, ok := experiments.DriverByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			drivers = append(drivers, d)
+		}
+	}
+
+	for _, d := range drivers {
+		start := time.Now()
+		rep, err := d.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		if *raw {
+			rep.RenderRaw(os.Stdout)
+		} else {
+			rep.Render(os.Stdout)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,86 @@
+// Command gendata regenerates the evaluation's data files (paper Table 2)
+// and, optionally, the size-separated query workloads with ground truth,
+// writing both to disk in the selest binary formats and printing the
+// inventory as it goes.
+//
+// Usage:
+//
+//	gendata [-out DIR] [-seed S] [-only name1,name2] [-queries N]
+//
+// With -queries N, four workload files (1%, 2%, 5%, 10% — the paper's
+// sizes) are written next to each data file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"selest/internal/dataset"
+	"selest/internal/query"
+	"selest/internal/xrand"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "data", "output directory")
+		seed    = flag.Uint64("seed", dataset.DefaultSeed, "RNG seed")
+		only    = flag.String("only", "", "comma-separated file names to generate (default: all)")
+		queries = flag.Int("queries", 0, "also write query workloads with this many queries per size (0 = none)")
+	)
+	flag.Parse()
+
+	names := dataset.Names()
+	if *only != "" {
+		names = nil
+		for _, n := range strings.Split(*only, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	for _, name := range names {
+		f, err := dataset.ByName(name, *seed)
+		if err != nil {
+			fail(err)
+		}
+		base := flattenName(name)
+		path := filepath.Join(*out, base+".seld")
+		if err := f.SaveFile(path); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s  ->  %s\n", f, path)
+
+		if *queries > 0 {
+			lo, hi := f.Domain()
+			for _, size := range query.StandardSizes {
+				rng := xrand.New(*seed ^ uint64(size*1e6))
+				w, err := query.GenerateAligned(f.Records, lo, hi, size, *queries, rng, true)
+				if err != nil {
+					fail(fmt.Errorf("%s size %v: %w", name, size, err))
+				}
+				qpath := filepath.Join(*out, fmt.Sprintf("%s_q%02.0f.selq", base, size*100))
+				if err := w.SaveFile(qpath); err != nil {
+					fail(err)
+				}
+				fmt.Printf("  %4d queries of %2.0f%%  ->  %s\n", len(w.Queries), size*100, qpath)
+			}
+		}
+	}
+}
+
+// flattenName maps paper file names like "rr1(22)" onto filesystem-safe
+// base names like "rr1_22".
+func flattenName(name string) string {
+	return strings.NewReplacer("(", "_", ")", "").Replace(name)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestFlattenName(t *testing.T) {
+	cases := map[string]string{
+		"u(15)":   "u_15",
+		"rr1(22)": "rr1_22",
+		"iw":      "iw",
+		"arap1":   "arap1",
+	}
+	for in, want := range cases {
+		if got := flattenName(in); got != want {
+			t.Errorf("flattenName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selest/internal/dataset"
+)
+
+func TestParseQueries(t *testing.T) {
+	qs, err := parseQueries([]string{"1:2", "-5:10", "3.5:3.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rangeQuery{{1, 2}, {-5, 10}, {3.5, 3.5}}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("query %d = %+v, want %+v", i, qs[i], want[i])
+		}
+	}
+}
+
+func TestParseQueriesErrors(t *testing.T) {
+	for _, bad := range []string{"12", "a:b", "1:", ":2", "5:1"} {
+		if _, err := parseQueries([]string{bad}); err == nil {
+			t.Fatalf("query %q should fail", bad)
+		}
+	}
+}
+
+func TestReadValuesText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vals.txt")
+	content := "1.5\n\n# comment line\n2\n  3.25  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readValues(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 3.25}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadValuesBadLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("1\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readValues(path); err == nil {
+		t.Fatal("bad line should fail")
+	}
+}
+
+func TestReadValuesMissingFile(t *testing.T) {
+	if _, err := readValues(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestReadValuesSeld(t *testing.T) {
+	f := dataset.UniformFile(10, 100, 1)
+	path := filepath.Join(t.TempDir(), "u.seld")
+	if err := f.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readValues(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("loaded %d values", len(got))
+	}
+}
+
+func TestExactCount(t *testing.T) {
+	values := []float64{1, 2, 2, 3, 10}
+	if got := exactCount(values, 2, 3); got != 3 {
+		t.Fatalf("exactCount = %d, want 3", got)
+	}
+	if got := exactCount(values, 4, 9); got != 0 {
+		t.Fatalf("exactCount = %d, want 0", got)
+	}
+}
+
+func TestMethodList(t *testing.T) {
+	s := methodList()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("methodList = %q", s)
+	}
+}
+
+func TestReadValuesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vals.csv")
+	if err := os.WriteFile(path, []byte("amount\n1.5\n2.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readValuesOpts(path, "amount", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Analyze: the statistics lifecycle of a database system, end to end —
+// ANALYZE samples the table's columns and stores per-column estimators in
+// a catalog; the catalog persists to disk; a later "optimiser process"
+// reloads it and estimates predicate result sizes without touching the
+// table again.
+//
+// Run with:
+//
+//	go run ./examples/analyze
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"selest"
+	"selest/internal/catalog"
+	"selest/internal/table"
+	"selest/internal/xrand"
+)
+
+func main() {
+	// An "orders" table with three metric columns of different characters:
+	// uniform ids, log-normal amounts, exponential-ish delivery days.
+	rng := xrand.New(42)
+	const rows = 150000
+	ids := make([]float64, rows)
+	amounts := make([]float64, rows)
+	days := make([]float64, rows)
+	for i := range ids {
+		ids[i] = float64(i)
+		amounts[i] = math.Round(math.Exp(rng.NormalMeanStd(4.5, 0.9)))
+		days[i] = math.Round(rng.Exponential(1.0 / 3.5))
+	}
+	rel, err := table.NewRelation("orders", map[string][]float64{
+		"id": ids, "amount": amounts, "days": days,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- ANALYZE: sample each column, store statistics. ---
+	cat := catalog.New()
+	configs := map[string]catalog.AnalyzeOptions{
+		"id":     {Method: selest.Uniform},                                  // sequential ids: uniform is exact
+		"amount": {Method: selest.Kernel, Boundary: selest.BoundaryKernels}, // smooth skewed
+		"days":   {Method: selest.Hybrid},                                   // spiky discrete-ish
+	}
+	for column, opts := range configs {
+		opts.Seed = 7
+		if err := cat.Analyze(rel, column, opts); err != nil {
+			log.Fatalf("analyze %s: %v", column, err)
+		}
+	}
+	fmt.Printf("analyzed %d columns of orders (%d rows)\n", cat.Len(), rel.Len())
+
+	// --- Persist, then reload as the "optimiser" would. ---
+	dir, err := os.MkdirTemp("", "selest-analyze")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "pg_statistic.selc")
+	if err := cat.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("catalog persisted: %s (%d bytes)\n\n", filepath.Base(path), info.Size())
+
+	loaded, err := catalog.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Plan-time estimation from the reloaded catalog. ---
+	type predicate struct {
+		column string
+		a, b   float64
+		sql    string
+	}
+	preds := []predicate{
+		{"id", 10000, 20000, "id BETWEEN 10000 AND 20000"},
+		{"amount", 50, 150, "amount BETWEEN 50 AND 150"},
+		{"amount", 500, 10000, "amount BETWEEN 500 AND 10000"},
+		{"days", 0, 2, "days <= 2"},
+		{"days", 10, 30, "days BETWEEN 10 AND 30"},
+	}
+	fmt.Printf("%-34s %10s %12s %8s\n", "predicate", "exact", "estimate", "rel.err")
+	for _, p := range preds {
+		col, _ := rel.Column(p.column)
+		exact := col.RangeCount(p.a, p.b)
+		est, err := loaded.EstimateRows("orders", p.column, p.a, p.b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relErr := math.Abs(est-float64(exact)) / math.Max(float64(exact), 1)
+		fmt.Printf("%-34s %10d %12.0f %7.1f%%\n", p.sql, exact, est, 100*relErr)
+	}
+	fmt.Println("\nThe estimates come from 2,000-record samples persisted at ANALYZE")
+	fmt.Println("time; the optimiser never rescans the table.")
+}

@@ -1,0 +1,90 @@
+package selest_test
+
+import (
+	"math"
+	"testing"
+
+	"selest"
+	"selest/internal/xrand"
+)
+
+func uniformSample(n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Floor(r.Float64() * 1000)
+	}
+	return out
+}
+
+func TestFacadeAdaptive(t *testing.T) {
+	base, err := selest.Build(uniformSample(1000, 1), selest.Options{
+		Method: selest.Kernel, Boundary: selest.BoundaryKernels,
+		DomainLo: 0, DomainHi: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := selest.NewAdaptive(base, 0, 1000, selest.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the region [100, 200] actually holds 30% of the records.
+	for i := 0; i < 100; i++ {
+		ad.Observe(100, 200, 0.3)
+	}
+	if got := ad.Selectivity(100, 200); math.Abs(got-0.3) > 0.05 {
+		t.Fatalf("adaptive estimate %v, want ~0.3 after feedback", got)
+	}
+}
+
+func TestFacadeOnline(t *testing.T) {
+	on, err := selest.NewOnline(selest.Options{
+		Method: selest.Kernel, Boundary: selest.BoundaryKernels,
+		DomainLo: 0, DomainHi: 1000,
+	}, selest.OnlineConfig{ReservoirSize: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		if err := on.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := on.Selectivity(0, 500); math.Abs(got-0.5) > 0.1 {
+		t.Fatalf("online σ̂(0,500) = %v, want ~0.5", got)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	c := selest.NewCatalog()
+	err := c.Put(&selest.CatalogEntry{
+		Table: "orders", Column: "amount",
+		Samples:  uniformSample(500, 4),
+		DomainLo: 0, DomainHi: 1000,
+		Method:   selest.EquiWidth,
+		RowCount: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.EstimateRows("orders", "amount", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rows-1000) > 300 {
+		t.Fatalf("EstimateRows = %v, want ~1000", rows)
+	}
+	path := t.TempDir() + "/stats.selc"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := selest.LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatal("catalog round trip lost entries")
+	}
+}

@@ -1,0 +1,3 @@
+module selest
+
+go 1.22

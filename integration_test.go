@@ -1,0 +1,206 @@
+package selest_test
+
+// Integration tests: the full pipeline — data file generation, sampling,
+// estimator construction for every method, workload evaluation, catalog
+// persistence — exercised together the way cmd/experiments composes it.
+
+import (
+	"math"
+	"testing"
+
+	"selest"
+	"selest/internal/dataset"
+	"selest/internal/errmetrics"
+	"selest/internal/query"
+	"selest/internal/sample"
+	"selest/internal/xrand"
+)
+
+// pipeline builds a file, a sample, and a workload once for all
+// integration tests.
+type pipeline struct {
+	file    *dataset.File
+	samples []float64
+	w       *query.Workload
+	lo, hi  float64
+}
+
+func buildPipeline(t *testing.T, name string) *pipeline {
+	t.Helper()
+	f, err := dataset.ByName(name, dataset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.Domain()
+	smp, err := sample.WithoutReplacement(xrand.New(1), f.Records, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.GenerateAligned(f.Records, lo, hi, 0.01, 300, xrand.New(2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pipeline{file: f, samples: smp, w: w, lo: lo, hi: hi}
+}
+
+// TestIntegrationAllMethodsOnRealPipeline runs every estimation method on
+// an n(20)-style file and checks the MRE stays within a sane envelope —
+// the end-to-end contract of the library.
+func TestIntegrationAllMethodsOnRealPipeline(t *testing.T) {
+	p := buildPipeline(t, "n(20)")
+	// Loose per-method MRE ceilings for 1% queries at 2,000 samples;
+	// values far beyond these indicate an estimator wired up wrongly
+	// (e.g. mis-scaled selectivities), not statistical noise.
+	ceilings := map[selest.Method]float64{
+		selest.Sampling:         0.40,
+		selest.Uniform:          20.0, // uniform is known-terrible on normal data
+		selest.EquiWidth:        0.30,
+		selest.EquiDepth:        0.40,
+		selest.MaxDiff:          0.40,
+		selest.VOptimal:         0.60,
+		selest.EndBiased:        0.40,
+		selest.Wavelet:          0.60,
+		selest.FrequencyPolygon: 0.30,
+		selest.ASH:              0.30,
+		selest.Kernel:           0.20,
+		selest.VariableKernel:   0.30,
+		selest.Hybrid:           0.30,
+	}
+	for _, m := range selest.Methods() {
+		est, err := selest.Build(p.samples, selest.Options{
+			Method: m, Boundary: selest.BoundaryReflect,
+			DomainLo: p.lo, DomainHi: p.hi,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		mre, skipped := errmetrics.MRE(est, p.w)
+		if math.IsNaN(mre) {
+			t.Fatalf("%s: MRE is NaN (skipped %d)", m, skipped)
+		}
+		if mre > ceilings[m] {
+			t.Fatalf("%s: MRE %v exceeds envelope %v", m, mre, ceilings[m])
+		}
+	}
+}
+
+// TestIntegrationEstimatorRanking verifies the paper's headline ranking
+// end-to-end on smooth data: kernel < tuned histogram < sampling.
+func TestIntegrationEstimatorRanking(t *testing.T) {
+	p := buildPipeline(t, "e(20)")
+	mreFor := func(m selest.Method, b selest.BoundaryMode) float64 {
+		est, err := selest.Build(p.samples, selest.Options{
+			Method: m, Boundary: b, DomainLo: p.lo, DomainHi: p.hi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mre, _ := errmetrics.MRE(est, p.w)
+		return mre
+	}
+	kernel := mreFor(selest.Kernel, selest.BoundaryKernels)
+	ewh := mreFor(selest.EquiWidth, selest.BoundaryNone)
+	sampling := mreFor(selest.Sampling, selest.BoundaryNone)
+	if !(kernel < ewh && ewh < sampling) {
+		t.Fatalf("ranking broken: kernel %v, EWH %v, sampling %v", kernel, ewh, sampling)
+	}
+}
+
+// TestIntegrationCatalogAllMethods persists one entry per method and
+// confirms every estimator rebuilds and answers after a disk round trip.
+func TestIntegrationCatalogAllMethods(t *testing.T) {
+	p := buildPipeline(t, "u(20)")
+	c := selest.NewCatalog()
+	for _, m := range selest.Methods() {
+		err := c.Put(&selest.CatalogEntry{
+			Table: "t", Column: string(m),
+			Samples:  p.samples,
+			DomainLo: p.lo, DomainHi: p.hi,
+			Method:   m,
+			Boundary: selest.BoundaryReflect,
+			RowCount: int64(p.file.Len()),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+	path := t.TempDir() + "/all.selc"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := selest.LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != len(selest.Methods()) {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	// A 10%-of-domain query on uniform data: every rebuilt estimator must
+	// predict ~10% of the rows.
+	a := p.lo + 0.45*(p.hi-p.lo)
+	b := p.lo + 0.55*(p.hi-p.lo)
+	for _, m := range selest.Methods() {
+		rows, err := loaded.EstimateRows("t", string(m), a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		want := 0.1 * float64(p.file.Len())
+		if math.Abs(rows-want)/want > 0.2 {
+			t.Fatalf("%s: rebuilt estimate %v, want ~%v", m, rows, want)
+		}
+	}
+}
+
+// TestIntegrationDeterminism re-runs the pipeline from the same seeds and
+// expects byte-identical estimates — the property EXPERIMENTS.md depends
+// on.
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() []float64 {
+		p := buildPipeline(t, "arap2")
+		est, err := selest.Build(p.samples, selest.Options{
+			Method: selest.Hybrid, DomainLo: p.lo, DomainHi: p.hi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, 20)
+		for i := 0; i < 20; i++ {
+			a := p.lo + float64(i)/20*(p.hi-p.lo)*0.9
+			out = append(out, est.Selectivity(a, a+0.01*(p.hi-p.lo)))
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("estimate %d not deterministic: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestIntegrationWorkloadFileRoundTrip saves a generated workload, reloads
+// it, and confirms MRE evaluation is identical — workloads are shareable
+// artifacts.
+func TestIntegrationWorkloadFileRoundTrip(t *testing.T) {
+	p := buildPipeline(t, "e(15)")
+	path := t.TempDir() + "/wl.selq"
+	if err := p.w.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := query.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := selest.Build(p.samples, selest.Options{
+		Method: selest.Kernel, Boundary: selest.BoundaryKernels,
+		DomainLo: p.lo, DomainHi: p.hi,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := errmetrics.MRE(est, p.w)
+	m2, _ := errmetrics.MRE(est, loaded)
+	if m1 != m2 {
+		t.Fatalf("MRE changed across round trip: %v vs %v", m1, m2)
+	}
+}

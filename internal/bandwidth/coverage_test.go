@@ -1,0 +1,103 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/kernel"
+	"selest/internal/xmath"
+)
+
+// This file targets branches the main suite misses: degenerate inputs to
+// the rules and the non-Epanechnikov self-convolution fallback.
+
+func TestOptimalBandwidthDegenerateN(t *testing.T) {
+	if !math.IsNaN(OptimalBandwidth(0, kernel.Epanechnikov{}, 1)) {
+		t.Fatal("n=0 should give NaN")
+	}
+}
+
+func TestNormalScaleRulesEmptyInput(t *testing.T) {
+	if _, err := NormalScaleBandwidth(nil, kernel.Epanechnikov{}); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := NormalScaleBins(nil, 0, 1, 0); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := NormalScaleBins([]float64{5, 5, 5}, 0, 1, 0); err == nil {
+		t.Fatal("degenerate sample should error")
+	}
+}
+
+func TestBinsForWidthNaN(t *testing.T) {
+	if got := BinsForWidth(math.NaN(), 0, 1, 0); got != 1 {
+		t.Fatalf("NaN width should give 1 bin, got %d", got)
+	}
+	if got := BinsForWidth(-1, 0, 1, 0); got != 1 {
+		t.Fatalf("negative width should give 1 bin, got %d", got)
+	}
+}
+
+func TestDPIDegenerateSamples(t *testing.T) {
+	if _, err := DPIBandwidth(nil, kernel.Epanechnikov{}, 2, 0, 1); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := DPIBandwidth([]float64{5, 5}, kernel.Epanechnikov{}, 2, 0, 10); err == nil {
+		t.Fatal("degenerate sample should error")
+	}
+	if _, err := DPIBinWidth(nil, 2, 0, 1); err == nil {
+		t.Fatal("empty sample should error")
+	}
+}
+
+func TestKernelSelfConvolutionNonEpanechnikov(t *testing.T) {
+	// The quadrature fallback must match direct numeric integration for a
+	// kernel without a closed form.
+	k := kernel.Biweight{}
+	for _, d := range []float64{0, 0.5, 1.2, 1.99, 2.5} {
+		got := kernelSelfConvolution(k, d)
+		want := xmath.Simpson(func(t float64) float64 { return k.Eval(t) * k.Eval(t-d) }, d-1, 1, 2000)
+		if d >= 2 {
+			want = 0
+		}
+		if !xmath.AlmostEqual(got, want, 1e-5) {
+			t.Fatalf("(K*K)(%v) = %v, numeric %v", d, got, want)
+		}
+	}
+	// Symmetry on the fallback path too.
+	if kernelSelfConvolution(k, -0.7) != kernelSelfConvolution(k, 0.7) {
+		t.Fatal("fallback self-convolution must be even")
+	}
+	// At d=0 it equals the kernel's roughness.
+	if got := kernelSelfConvolution(k, 0); !xmath.AlmostEqual(got, k.Roughness(), 1e-5) {
+		t.Fatalf("(K*K)(0) = %v, want roughness %v", got, k.Roughness())
+	}
+}
+
+func TestLSCVWithNonEpanechnikovKernel(t *testing.T) {
+	samples := normalSamples(t, 200, 0, 1, 40)
+	h, err := LSCVBandwidth(samples, kernel.Triangular{}, 0.05, 3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0.05 || h >= 3 {
+		t.Fatalf("LSCV with triangular kernel picked edge h = %v", h)
+	}
+}
+
+func TestLSCVDefaultGrid(t *testing.T) {
+	samples := normalSamples(t, 100, 0, 1, 41)
+	if _, err := LSCVBandwidth(samples, kernel.Epanechnikov{}, 0.05, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleDefaultGrid(t *testing.T) {
+	h, err := Oracle(func(h float64) float64 { return (h - 1) * (h - 1) }, 0.1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.5 || h > 2 {
+		t.Fatalf("oracle with default grid found %v", h)
+	}
+}

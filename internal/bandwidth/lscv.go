@@ -1,0 +1,87 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selest/internal/kernel"
+	"selest/internal/xmath"
+)
+
+// LSCVBandwidth selects the bandwidth by least-squares cross-validation,
+// an extension beyond the paper's rules. LSCV minimises an unbiased
+// estimate of the integrated squared error:
+//
+//	LSCV(h) = ∫f̂² − (2/n)·Σ_i f̂_{−i}(X_i)
+//
+// over a logarithmic bandwidth grid spanning [hLo, hHi]. It is fully
+// data-driven (no normal reference), at the price of O(grid·n·k) work and
+// the well-known tendency to undersmooth on heavy-duplicate data.
+func LSCVBandwidth(samples []float64, k kernel.Kernel, hLo, hHi float64, gridN int) (float64, error) {
+	if len(samples) < 2 {
+		return 0, fmt.Errorf("bandwidth: LSCV needs at least 2 samples")
+	}
+	if !(hLo > 0 && hHi > hLo) {
+		return 0, fmt.Errorf("bandwidth: LSCV needs 0 < hLo < hHi, got [%v, %v]", hLo, hHi)
+	}
+	if gridN < 2 {
+		gridN = 32
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	h, _ := xmath.LogGridMin(func(h float64) float64 {
+		return lscvScore(sorted, k, h)
+	}, hLo, hHi, gridN)
+	return h, nil
+}
+
+// lscvScore evaluates the LSCV objective for one bandwidth on sorted
+// samples. ∫f̂² is computed exactly through the kernel's self-convolution
+// evaluated numerically per sample pair within reach; leave-one-out terms
+// reuse the same pair walk.
+func lscvScore(sorted []float64, k kernel.Kernel, h float64) float64 {
+	n := len(sorted)
+	nf := float64(n)
+	reach := 2 * h * k.Support() // pairs farther apart interact in neither term
+
+	// Pairwise accumulation: for each i, walk neighbours j > i within
+	// reach. conv(d) = ∫K(t)K(t−d/h)dt evaluated by quadrature; loo(d) =
+	// K(d/h).
+	var convSum, looSum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && sorted[j]-sorted[i] <= reach; j++ {
+			d := (sorted[j] - sorted[i]) / h
+			convSum += kernelSelfConvolution(k, d)
+			looSum += k.Eval(d)
+		}
+	}
+	// Diagonal terms: conv(0) once per sample; K(0) terms are excluded
+	// from leave-one-out by construction.
+	convDiag := kernelSelfConvolution(k, 0)
+
+	integralF2 := (nf*convDiag + 2*convSum) / (nf * nf * h)
+	leaveOneOut := 2 * looSum / (nf * (nf - 1) * h) // Σ_i Σ_{j≠i} counted once per unordered pair ×2
+	return integralF2 - 2*leaveOneOut
+}
+
+// kernelSelfConvolution evaluates (K*K)(d) = ∫K(t)K(t−d)dt. For the
+// Epanechnikov kernel the closed form is used; other kernels fall back to
+// quadrature over the overlap of the supports.
+func kernelSelfConvolution(k kernel.Kernel, d float64) float64 {
+	d = math.Abs(d)
+	if _, ok := k.(kernel.Epanechnikov); ok {
+		if d >= 2 {
+			return 0
+		}
+		// ∫ 9/16 (1−t²)(1−(t−d)²) dt over t ∈ [d−1, 1]; expanding gives the
+		// classic polynomial in d below.
+		return 3.0 / 160.0 * (2 - d) * (2 - d) * (2 - d) * (d*d + 6*d + 4)
+	}
+	r := k.Support()
+	lo, hi := d-r, r
+	if hi <= lo {
+		return 0
+	}
+	return xmath.Simpson(func(t float64) float64 { return k.Eval(t) * k.Eval(t-d) }, lo, hi, 64)
+}

@@ -1,0 +1,56 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/xmath"
+)
+
+// Oracle performs the grid search behind the paper's "h-opt" reference
+// columns (figures 9 and 11): it scans smoothing parameters on a
+// logarithmic grid and returns the one minimising a caller-supplied loss —
+// in the experiments, the mean relative error over a query workload with
+// known true selectivities. The paper stresses this is "not a practical
+// method" (it needs the answers in advance); it exists to judge how close
+// the practical rules get.
+func Oracle(loss func(h float64) float64, hLo, hHi float64, gridN int) (float64, error) {
+	if !(hLo > 0 && hHi > hLo) {
+		return 0, fmt.Errorf("bandwidth: oracle needs 0 < hLo < hHi, got [%v, %v]", hLo, hHi)
+	}
+	if gridN < 2 {
+		gridN = 48
+	}
+	h, lossAt := xmath.LogGridMin(loss, hLo, hHi, gridN)
+	if math.IsNaN(lossAt) || math.IsInf(lossAt, 0) {
+		return 0, fmt.Errorf("bandwidth: oracle loss not finite at minimum h=%v", h)
+	}
+	return h, nil
+}
+
+// OracleBins scans integer bin counts in [kLo, kHi] and returns the count
+// minimising the loss. Used for the histogram h-opt columns, where the
+// smoothing parameter is discrete.
+func OracleBins(loss func(k int) float64, kLo, kHi int) (int, error) {
+	if kLo < 1 || kHi < kLo {
+		return 0, fmt.Errorf("bandwidth: oracle bins needs 1 <= kLo <= kHi, got [%d, %d]", kLo, kHi)
+	}
+	best, bestLoss := kLo, math.Inf(1)
+	// Scan multiplicatively (×1.25 steps) — error curves over bin counts
+	// are smooth on a log scale and the full integer scan is wasteful for
+	// kHi in the thousands.
+	for k := kLo; k <= kHi; {
+		if l := loss(k); l < bestLoss {
+			best, bestLoss = k, l
+		}
+		next := k + k/4
+		if next <= k {
+			next = k + 1
+		}
+		k = next
+	}
+	if math.IsInf(bestLoss, 1) {
+		return 0, fmt.Errorf("bandwidth: oracle bins found no finite loss")
+	}
+	return best, nil
+}

@@ -1,0 +1,73 @@
+package catalog
+
+import (
+	"fmt"
+
+	"selest/internal/core"
+	"selest/internal/kde"
+	"selest/internal/sample"
+	"selest/internal/table"
+	"selest/internal/xrand"
+)
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// SampleSize is the number of records to sample (paper: 2,000).
+	// Zero defaults to 2000; larger than the column clamps to a full scan.
+	SampleSize int
+	// Seed drives the sampling RNG.
+	Seed uint64
+	// Method, Rule, Boundary, Bins, Bandwidth select the estimator
+	// configuration stored with the statistics; the zero value stores the
+	// kernel estimator with no boundary treatment and the normal scale
+	// rule.
+	Method    core.Method
+	Rule      core.BandwidthRule
+	Boundary  kde.BoundaryMode
+	Bins      int
+	Bandwidth float64
+}
+
+// Analyze samples one column of a relation and stores fresh statistics in
+// the catalog under (relation name, column name) — the ANALYZE operation
+// of a database system, expressed against this library's table substrate.
+func (c *Catalog) Analyze(rel *table.Relation, column string, opts AnalyzeOptions) error {
+	if rel == nil {
+		return fmt.Errorf("catalog: nil relation")
+	}
+	col, ok := rel.Column(column)
+	if !ok {
+		return fmt.Errorf("catalog: relation %q has no column %q", rel.Name(), column)
+	}
+	if col.Len() == 0 {
+		return fmt.Errorf("catalog: column %s.%s is empty", rel.Name(), column)
+	}
+	n := opts.SampleSize
+	if n == 0 {
+		n = 2000
+	}
+	if n > col.Len() {
+		n = col.Len()
+	}
+	smp, err := sample.WithoutReplacement(xrand.New(opts.Seed), col.Values(), n)
+	if err != nil {
+		return fmt.Errorf("catalog: analyze %s.%s: %w", rel.Name(), column, err)
+	}
+	entry := &Entry{
+		Table:     rel.Name(),
+		Column:    column,
+		Samples:   smp,
+		DomainLo:  col.Min(),
+		DomainHi:  col.Max(),
+		Method:    opts.Method,
+		Rule:      opts.Rule,
+		Boundary:  opts.Boundary,
+		Bins:      opts.Bins,
+		Bandwidth: opts.Bandwidth,
+		RowCount:  int64(col.Len()),
+	}
+	if entry.DomainLo == entry.DomainHi {
+		return fmt.Errorf("catalog: column %s.%s is constant; no interval structure to analyse", rel.Name(), column)
+	}
+	return c.Put(entry)
+}

@@ -1,0 +1,126 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/core"
+	"selest/internal/table"
+	"selest/internal/xrand"
+)
+
+func testRelation(t *testing.T, n int, seed uint64) *table.Relation {
+	t.Helper()
+	r := xrand.New(seed)
+	amounts := make([]float64, n)
+	qtys := make([]float64, n)
+	for i := range amounts {
+		amounts[i] = math.Floor(r.Float64() * 10000)
+		qtys[i] = math.Floor(r.Exponential(0.5))
+	}
+	rel, err := table.NewRelation("orders", map[string][]float64{
+		"amount": amounts,
+		"qty":    qtys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestAnalyzeStoresUsableStatistics(t *testing.T) {
+	rel := testRelation(t, 50000, 1)
+	c := New()
+	if err := c.Analyze(rel, "amount", AnalyzeOptions{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Entry("orders", "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Samples) != 2000 {
+		t.Fatalf("sample size = %d, want default 2000", len(e.Samples))
+	}
+	if e.RowCount != 50000 {
+		t.Fatalf("RowCount = %d", e.RowCount)
+	}
+	// Estimated rows for a 10%-of-domain predicate on uniform data.
+	rows, err := c.EstimateRows("orders", "amount", 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rows-5000)/5000 > 0.25 {
+		t.Fatalf("EstimateRows = %v, want ~5000", rows)
+	}
+}
+
+func TestAnalyzeSmallColumnClampsToFullScan(t *testing.T) {
+	rel := testRelation(t, 100, 3)
+	c := New()
+	if err := c.Analyze(rel, "amount", AnalyzeOptions{SampleSize: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Entry("orders", "amount")
+	if len(e.Samples) != 100 {
+		t.Fatalf("sample size = %d, want full column", len(e.Samples))
+	}
+}
+
+func TestAnalyzeMethodConfig(t *testing.T) {
+	rel := testRelation(t, 5000, 4)
+	c := New()
+	err := c.Analyze(rel, "qty", AnalyzeOptions{
+		Method: core.EquiWidth, Bins: 12, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Entry("orders", "qty")
+	if e.Method != core.EquiWidth || e.Bins != 12 {
+		t.Fatalf("config not stored: %+v", e)
+	}
+	est, err := c.Estimator("orders", "qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type binned interface{ Bins() int }
+	if b, ok := est.(binned); !ok || b.Bins() != 12 {
+		t.Fatal("stored estimator does not honour the configuration")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	c := New()
+	if err := c.Analyze(nil, "x", AnalyzeOptions{}); err == nil {
+		t.Fatal("nil relation should error")
+	}
+	rel := testRelation(t, 100, 6)
+	if err := c.Analyze(rel, "missing", AnalyzeOptions{}); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	constRel, err := table.NewRelation("c", map[string][]float64{"v": {5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze(constRel, "v", AnalyzeOptions{}); err == nil {
+		t.Fatal("constant column should error")
+	}
+}
+
+func TestAnalyzeRefreshReplaces(t *testing.T) {
+	rel := testRelation(t, 10000, 7)
+	c := New()
+	if err := c.Analyze(rel, "amount", AnalyzeOptions{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze(rel, "amount", AnalyzeOptions{Seed: 2, SampleSize: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after refresh", c.Len())
+	}
+	e, _ := c.Entry("orders", "amount")
+	if len(e.Samples) != 500 {
+		t.Fatal("refresh did not replace the entry")
+	}
+}

@@ -1,0 +1,354 @@
+// Package catalog is a persistent statistics catalog: it stores, per
+// (table, column), everything needed to rebuild a selectivity estimator —
+// the sample set, the domain, and the estimator configuration — and
+// rebuilds estimators on load. This is the role the paper's estimators
+// play inside a database system: statistics are collected once (ANALYZE),
+// persisted, and consulted by the optimiser until refreshed.
+//
+// Persisting the *sample plus configuration* rather than the fitted
+// structure keeps the format estimator-agnostic (kernel estimators are
+// their samples; histograms rebuild in microseconds) and lets a newer
+// binary rebuild stats with improved rules without re-sampling the table.
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"selest/internal/core"
+	"selest/internal/dataset"
+	"selest/internal/kde"
+)
+
+// Entry is the persisted statistics record of one column.
+type Entry struct {
+	// Table and Column name the attribute.
+	Table, Column string
+	// Samples is the stored sample set.
+	Samples []float64
+	// DomainLo/DomainHi bound the attribute domain at collection time.
+	DomainLo, DomainHi float64
+	// Method, Rule, Boundary, Bins, Bandwidth mirror core.Options.
+	Method    core.Method
+	Rule      core.BandwidthRule
+	Boundary  kde.BoundaryMode
+	Bins      int
+	Bandwidth float64
+	// RowCount is the table cardinality at collection time, used to scale
+	// selectivities into row estimates.
+	RowCount int64
+}
+
+// Options converts the entry back to build options.
+func (e *Entry) Options() core.Options {
+	return core.Options{
+		Method:    e.Method,
+		DomainLo:  e.DomainLo,
+		DomainHi:  e.DomainHi,
+		Bins:      e.Bins,
+		Bandwidth: e.Bandwidth,
+		Rule:      e.Rule,
+		Boundary:  e.Boundary,
+	}
+}
+
+// Build rebuilds the estimator from the entry.
+func (e *Entry) Build() (core.Estimator, error) {
+	return core.Build(e.Samples, e.Options())
+}
+
+// key identifies an entry.
+type key struct{ table, column string }
+
+// Catalog is an in-memory statistics catalog with binary persistence.
+// It is safe for concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[key]*Entry
+	// built caches rebuilt estimators per entry.
+	built map[key]core.Estimator
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		entries: make(map[key]*Entry),
+		built:   make(map[key]core.Estimator),
+	}
+}
+
+// Put validates and stores an entry, replacing any previous statistics for
+// the same (table, column). The entry's estimator must build.
+func (c *Catalog) Put(e *Entry) error {
+	if e == nil {
+		return fmt.Errorf("catalog: nil entry")
+	}
+	if e.Table == "" || e.Column == "" {
+		return fmt.Errorf("catalog: entry needs table and column names")
+	}
+	if len(e.Samples) == 0 {
+		return fmt.Errorf("catalog: entry %s.%s has no samples", e.Table, e.Column)
+	}
+	if !(e.DomainHi > e.DomainLo) {
+		return fmt.Errorf("catalog: entry %s.%s has empty domain", e.Table, e.Column)
+	}
+	est, err := e.Build()
+	if err != nil {
+		return fmt.Errorf("catalog: entry %s.%s does not build: %w", e.Table, e.Column, err)
+	}
+	cp := *e
+	cp.Samples = append([]float64(nil), e.Samples...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key{e.Table, e.Column}
+	c.entries[k] = &cp
+	c.built[k] = est
+	return nil
+}
+
+// Estimator returns the (cached) estimator for a column.
+func (c *Catalog) Estimator(table, column string) (core.Estimator, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if est, ok := c.built[key{table, column}]; ok {
+		return est, nil
+	}
+	return nil, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
+}
+
+// Entry returns a copy of the stored entry for a column.
+func (c *Catalog) Entry(table, column string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[key{table, column}]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
+	}
+	cp := *e
+	cp.Samples = append([]float64(nil), e.Samples...)
+	return &cp, nil
+}
+
+// EstimateRows returns the estimated result size of a range predicate on a
+// column, scaled by the recorded row count.
+func (c *Catalog) EstimateRows(table, column string, a, b float64) (float64, error) {
+	c.mu.RLock()
+	est, ok := c.built[key{table, column}]
+	var rows int64
+	if ok {
+		rows = c.entries[key{table, column}].RowCount
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
+	}
+	return est.Selectivity(a, b) * float64(rows), nil
+}
+
+// Drop removes a column's statistics; it is a no-op if absent.
+func (c *Catalog) Drop(table, column string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key{table, column})
+	delete(c.built, key{table, column})
+}
+
+// Len returns the number of entries.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Columns lists the stored (table, column) pairs sorted lexicographically.
+func (c *Catalog) Columns() [][2]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.columnsLocked()
+}
+
+// columnsLocked is Columns without locking; the caller holds mu (either
+// mode). Save must use this rather than Columns — recursively acquiring
+// RLock deadlocks when a writer is queued between the two acquisitions.
+func (c *Catalog) columnsLocked() [][2]string {
+	out := make([][2]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, [2]string{k.table, k.column})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Binary format:
+//
+//	magic   [4]byte "SELC"
+//	version uint16
+//	count   uint32
+//	per entry:
+//	  table, column, method, rule:  uint16 len + bytes each
+//	  boundary  uint8
+//	  bins      int32
+//	  bandwidth float64
+//	  domainLo, domainHi float64
+//	  rowCount  int64
+//	  nSamples  uint32, samples []float64
+
+var catalogMagic = [4]byte{'S', 'E', 'L', 'C'}
+
+const catalogVersion = 1
+
+// Save writes the whole catalog.
+func (c *Catalog) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(catalogMagic[:]); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(catalogVersion)); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.entries))); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	// Deterministic order for reproducible files.
+	for _, tc := range c.columnsLocked() {
+		e := c.entries[key{tc[0], tc[1]}]
+		for _, s := range []string{e.Table, e.Column, string(e.Method), string(e.Rule)} {
+			if len(s) > math.MaxUint16 {
+				return fmt.Errorf("catalog: string too long")
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint16(len(s))); err != nil {
+				return fmt.Errorf("catalog: %w", err)
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return fmt.Errorf("catalog: %w", err)
+			}
+		}
+		if err := bw.WriteByte(byte(e.Boundary)); err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		for _, v := range []any{int32(e.Bins), e.Bandwidth, e.DomainLo, e.DomainHi, e.RowCount, uint32(len(e.Samples))} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("catalog: %w", err)
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.Samples); err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a catalog and rebuilds every estimator.
+func Load(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("catalog: read magic: %w", err)
+	}
+	if magic != catalogMagic {
+		return nil, fmt.Errorf("catalog: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if version != catalogVersion {
+		return nil, fmt.Errorf("catalog: unsupported version %d", version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	const maxEntries = 1 << 20
+	if count > maxEntries {
+		return nil, fmt.Errorf("catalog: entry count %d exceeds limit", count)
+	}
+	c := New()
+	readString := func() (string, error) {
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	for i := uint32(0); i < count; i++ {
+		var e Entry
+		var err error
+		var method, rule string
+		if e.Table, err = readString(); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if e.Column, err = readString(); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if method, err = readString(); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if rule, err = readString(); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		e.Method = core.Method(method)
+		e.Rule = core.BandwidthRule(rule)
+		boundary, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		e.Boundary = kde.BoundaryMode(boundary)
+		var bins int32
+		var nSamples uint32
+		for _, dst := range []any{&bins, &e.Bandwidth, &e.DomainLo, &e.DomainHi, &e.RowCount, &nSamples} {
+			if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			}
+		}
+		e.Bins = int(bins)
+		e.Samples, err = dataset.ReadFloats(br, uint64(nSamples))
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if err := c.Put(&e); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SaveFile writes the catalog to path.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog from path.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

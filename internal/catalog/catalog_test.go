@@ -1,0 +1,266 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/core"
+	"selest/internal/kde"
+	"selest/internal/xrand"
+)
+
+func testEntry(table, column string, seed uint64) *Entry {
+	r := xrand.New(seed)
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = math.Floor(r.Float64() * 1000)
+	}
+	return &Entry{
+		Table: table, Column: column,
+		Samples:  samples,
+		DomainLo: 0, DomainHi: 1000,
+		Method:   core.Kernel,
+		Boundary: kde.BoundaryKernels,
+		RowCount: 50000,
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	c := New()
+	if err := c.Put(nil); err == nil {
+		t.Fatal("nil entry should error")
+	}
+	if err := c.Put(&Entry{Column: "c"}); err == nil {
+		t.Fatal("missing table should error")
+	}
+	e := testEntry("t", "c", 1)
+	e.Samples = nil
+	if err := c.Put(e); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	e = testEntry("t", "c", 1)
+	e.DomainHi = e.DomainLo
+	if err := c.Put(e); err == nil {
+		t.Fatal("empty domain should error")
+	}
+	e = testEntry("t", "c", 1)
+	e.Method = "bogus"
+	if err := c.Put(e); err == nil {
+		t.Fatal("unbuildable entry should error")
+	}
+}
+
+func TestPutGetEstimate(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("orders", "amount", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	est, err := c.Estimator("orders", "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := est.Selectivity(0, 1000); s < 0.9 {
+		t.Fatalf("whole-domain σ̂ = %v", s)
+	}
+	rows, err := c.EstimateRows("orders", "amount", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform data: ~10% of 50,000.
+	if math.Abs(rows-5000) > 1500 {
+		t.Fatalf("EstimateRows = %v, want ~5000", rows)
+	}
+	if _, err := c.Estimator("orders", "missing"); err == nil {
+		t.Fatal("missing column should error")
+	}
+	if _, err := c.EstimateRows("nope", "x", 0, 1); err == nil {
+		t.Fatal("missing stats should error")
+	}
+}
+
+func TestEntryCopyIsolation(t *testing.T) {
+	c := New()
+	src := testEntry("t", "c", 3)
+	if err := c.Put(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Samples[0] = -999 // mutate the caller's slice
+	got, err := c.Entry("t", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0] == -999 {
+		t.Fatal("catalog shares the caller's sample slice")
+	}
+	got.Samples[1] = -888 // mutate the returned copy
+	again, _ := c.Entry("t", "c")
+	if again.Samples[1] == -888 {
+		t.Fatal("Entry returns a shared slice")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("t", "c", 4)); err != nil {
+		t.Fatal(err)
+	}
+	e2 := testEntry("t", "c", 5)
+	e2.Method = core.EquiWidth
+	if err := c.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after replace = %d", c.Len())
+	}
+	got, _ := c.Entry("t", "c")
+	if got.Method != core.EquiWidth {
+		t.Fatalf("replace did not take: method %s", got.Method)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("t", "c", 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop("t", "c")
+	if c.Len() != 0 {
+		t.Fatal("Drop did not remove the entry")
+	}
+	c.Drop("t", "c") // idempotent
+}
+
+func TestColumnsSorted(t *testing.T) {
+	c := New()
+	for _, tc := range [][2]string{{"b", "y"}, {"a", "z"}, {"a", "x"}} {
+		if err := c.Put(testEntry(tc[0], tc[1], 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Columns()
+	want := [][2]string{{"a", "x"}, {"a", "z"}, {"b", "y"}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Columns = %v", got)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New()
+	e1 := testEntry("orders", "amount", 8)
+	e2 := testEntry("events", "ts", 9)
+	e2.Method = core.EquiWidth
+	e2.Bins = 40
+	e2.Rule = core.DPI
+	if err := c.Put(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded Len = %d", loaded.Len())
+	}
+	got, err := loaded.Entry("events", "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != core.EquiWidth || got.Bins != 40 || got.Rule != core.DPI || got.RowCount != 50000 {
+		t.Fatalf("entry fields lost: %+v", got)
+	}
+	// Loaded estimators answer identically to the originals.
+	origEst, _ := c.Estimator("orders", "amount")
+	loadEst, _ := loaded.Estimator("orders", "amount")
+	for _, q := range [][2]float64{{0, 100}, {300, 700}, {900, 1000}} {
+		if a, b := origEst.Selectivity(q[0], q[1]), loadEst.Selectivity(q[0], q[1]); a != b {
+			t.Fatalf("estimates diverge after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSaveLoadFileOnDisk(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("t", "c", 10)); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/stats.selc"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatal("disk round trip lost entries")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage data here..."))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	var buf bytes.Buffer
+	buf.Write(catalogMagic[:])
+	buf.Write([]byte{9, 9}) // bad version
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("bad version should fail")
+	}
+	// Truncated entry body.
+	buf.Reset()
+	buf.Write(catalogMagic[:])
+	buf.Write([]byte{1, 0})       // version 1
+	buf.Write([]byte{1, 0, 0, 0}) // one entry
+	buf.Write([]byte{3, 0})       // table name length 3, then EOF
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("truncated entry should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("t", "c", 11)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := c.Put(testEntry("t", "c", seed)); err != nil {
+					panic(err)
+				}
+			}
+		}(uint64(g + 20))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if _, err := c.EstimateRows("t", "c", 100, 300); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

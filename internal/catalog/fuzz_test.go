@@ -1,0 +1,54 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the catalog loader: reject or accept
+// without panicking; accepted catalogs must round-trip.
+func FuzzLoad(f *testing.F) {
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SELC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := loaded.Save(&out); err != nil {
+			t.Fatalf("accepted catalog failed to save: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != loaded.Len() {
+			t.Fatal("round trip changed the catalog")
+		}
+	})
+}
+
+func testEntryForFuzz() *Entry {
+	samples := make([]float64, 64)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	return &Entry{
+		Table: "t", Column: "c",
+		Samples:  samples,
+		DomainLo: 0, DomainHi: 64,
+		Method:   "equi-width",
+		RowCount: 1000,
+	}
+}

@@ -1,0 +1,146 @@
+// Package categorical estimates selectivities on categorical domains —
+// the other branch of the paper's domain taxonomy (§1: "for a categorical
+// domain, estimation methods are only able to estimate the probability
+// that a record will be in one of the categories"). Categorical attributes
+// have no ordering, so the supported predicates are equality and set
+// membership, not ranges.
+//
+// The estimator is a sample frequency table with two refinements:
+//
+//   - optional Laplace (add-α) smoothing, so categories absent from the
+//     sample do not estimate to exactly zero (a zero selectivity makes an
+//     optimiser pick plans that explode when the estimate is wrong); and
+//   - an unseen-mass model: the leftover probability of never-sampled
+//     categories is spread over the declared remainder of the domain,
+//     following the Good–Turing intuition that the number of
+//     singleton sample categories estimates the unseen mass.
+package categorical
+
+// Estimator is a categorical-domain selectivity estimator. Construct with
+// New; immutable afterwards and safe for concurrent use.
+type Estimator struct {
+	freq       map[string]int
+	n          int
+	alpha      float64
+	domainSize int
+	singletons int
+}
+
+// Config parameterises New.
+type Config struct {
+	// Alpha is the Laplace smoothing constant; 0 disables smoothing.
+	Alpha float64
+	// DomainSize is the number of distinct categories in the attribute's
+	// domain, when known. 0 means "unknown": unseen categories estimate
+	// via the Good–Turing singleton mass spread over nothing specific,
+	// i.e. a single pooled unseen estimate.
+	DomainSize int
+}
+
+// New builds the estimator from a sample of category values.
+func New(samples []string, cfg Config) (*Estimator, error) {
+	if len(samples) == 0 {
+		return nil, errEmpty
+	}
+	if cfg.Alpha < 0 {
+		return nil, errAlpha
+	}
+	e := &Estimator{
+		freq:       make(map[string]int, len(samples)),
+		n:          len(samples),
+		alpha:      cfg.Alpha,
+		domainSize: cfg.DomainSize,
+	}
+	for _, s := range samples {
+		e.freq[s]++
+	}
+	for _, c := range e.freq {
+		if c == 1 {
+			e.singletons++
+		}
+	}
+	return e, nil
+}
+
+// sentinel errors; var-based so callers can compare with errors.Is.
+var (
+	errEmpty = constError("categorical: empty sample set")
+	errAlpha = constError("categorical: negative smoothing constant")
+)
+
+// constError is a string-backed error usable in const-like declarations.
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+// Selectivity returns the estimated fraction of records equal to the
+// category.
+func (e *Estimator) Selectivity(category string) float64 {
+	count, seen := e.freq[category]
+	distinct := len(e.freq)
+	switch {
+	case seen:
+		if e.alpha > 0 {
+			d := e.effectiveDomain()
+			return (float64(count) + e.alpha) / (float64(e.n) + e.alpha*float64(d))
+		}
+		return float64(count) / float64(e.n)
+	case e.alpha > 0:
+		d := e.effectiveDomain()
+		return e.alpha / (float64(e.n) + e.alpha*float64(d))
+	default:
+		// Good–Turing: the total unseen mass ≈ singletons/n, spread over
+		// the unseen part of the domain when its size is known.
+		unseenMass := float64(e.singletons) / float64(e.n)
+		if e.domainSize > distinct {
+			return unseenMass / float64(e.domainSize-distinct)
+		}
+		if e.domainSize > 0 {
+			return 0 // domain fully observed: the category does not exist
+		}
+		return unseenMass // pooled estimate for "some unseen category"
+	}
+}
+
+// effectiveDomain returns the domain size used for smoothing: the declared
+// size when known, otherwise the observed distinct count.
+func (e *Estimator) effectiveDomain() int {
+	if e.domainSize > 0 {
+		return e.domainSize
+	}
+	return len(e.freq)
+}
+
+// SelectivityIn returns the estimated fraction of records whose category
+// is in the given set (an IN-list predicate). Duplicates in the list are
+// counted once.
+func (e *Estimator) SelectivityIn(categories []string) float64 {
+	seen := make(map[string]bool, len(categories))
+	sum := 0.0
+	for _, c := range categories {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		sum += e.Selectivity(c)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Distinct returns the number of distinct categories observed.
+func (e *Estimator) Distinct() int { return len(e.freq) }
+
+// SampleSize returns the number of samples.
+func (e *Estimator) SampleSize() int { return e.n }
+
+// UnseenMass returns the Good–Turing estimate of the total probability of
+// categories absent from the sample.
+func (e *Estimator) UnseenMass() float64 {
+	return float64(e.singletons) / float64(e.n)
+}
+
+// Name identifies the estimator in experiment output.
+func (e *Estimator) Name() string { return "categorical" }

@@ -1,0 +1,137 @@
+package categorical
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := New([]string{"a"}, Config{Alpha: -1}); err == nil {
+		t.Fatal("negative alpha should error")
+	}
+}
+
+func TestPlainFrequencies(t *testing.T) {
+	e, err := New([]string{"a", "a", "b", "c"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Selectivity("a"); got != 0.5 {
+		t.Fatalf("σ̂(a) = %v, want 0.5", got)
+	}
+	if got := e.Selectivity("b"); got != 0.25 {
+		t.Fatalf("σ̂(b) = %v, want 0.25", got)
+	}
+	if e.Distinct() != 3 || e.SampleSize() != 4 {
+		t.Fatalf("Distinct/SampleSize = %d/%d", e.Distinct(), e.SampleSize())
+	}
+	if e.Name() != "categorical" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+func TestUnseenWithKnownDomain(t *testing.T) {
+	// 4 samples over domain of 10 categories; "b" and "c" are singletons.
+	e, err := New([]string{"a", "a", "b", "c"}, Config{DomainSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen mass = 2/4 = 0.5, spread over 7 unseen categories.
+	want := 0.5 / 7
+	if got := e.Selectivity("z"); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("unseen σ̂ = %v, want %v", got, want)
+	}
+	if got := e.UnseenMass(); got != 0.5 {
+		t.Fatalf("UnseenMass = %v", got)
+	}
+}
+
+func TestUnseenFullyObservedDomain(t *testing.T) {
+	e, err := New([]string{"a", "b", "a", "b"}, Config{DomainSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Selectivity("z"); got != 0 {
+		t.Fatalf("nonexistent category σ̂ = %v, want 0", got)
+	}
+}
+
+func TestLaplaceSmoothing(t *testing.T) {
+	e, err := New([]string{"a", "a", "b"}, Config{Alpha: 1, DomainSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2+1)/(3+1·4) for a; (0+1)/(3+4) for unseen.
+	if got := e.Selectivity("a"); math.Abs(got-3.0/7) > 1e-12 {
+		t.Fatalf("smoothed σ̂(a) = %v", got)
+	}
+	if got := e.Selectivity("z"); math.Abs(got-1.0/7) > 1e-12 {
+		t.Fatalf("smoothed unseen σ̂ = %v", got)
+	}
+	// Smoothed probabilities over the whole domain sum to 1.
+	total := 2*e.Selectivity("z") + e.Selectivity("a") + e.Selectivity("b")
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("domain total = %v, want 1", total)
+	}
+}
+
+func TestSelectivityIn(t *testing.T) {
+	e, err := New([]string{"a", "a", "b", "c"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SelectivityIn([]string{"a", "b"}); got != 0.75 {
+		t.Fatalf("IN σ̂ = %v, want 0.75", got)
+	}
+	// Duplicates in the list count once.
+	if got := e.SelectivityIn([]string{"a", "a"}); got != 0.5 {
+		t.Fatalf("IN with dups σ̂ = %v, want 0.5", got)
+	}
+	if got := e.SelectivityIn(nil); got != 0 {
+		t.Fatalf("empty IN σ̂ = %v", got)
+	}
+}
+
+func TestAccuracyOnZipfCategories(t *testing.T) {
+	// Zipf-distributed categories: sampled frequencies must track the true
+	// ones for the common categories.
+	r := xrand.New(1)
+	z := xrand.NewZipf(r, 1.5, 1, 999)
+	const popN = 200000
+	pop := make([]string, popN)
+	trueFreq := make(map[string]int)
+	for i := range pop {
+		c := fmt.Sprintf("cat%d", z.Uint64())
+		pop[i] = c
+		trueFreq[c]++
+	}
+	// Sample the first 2000 (the population order is already random).
+	e, err := New(pop[:2000], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"cat0", "cat1", "cat2"} {
+		truth := float64(trueFreq[c]) / popN
+		got := e.Selectivity(c)
+		if math.Abs(got-truth)/truth > 0.2 {
+			t.Fatalf("%s: σ̂ %v vs truth %v", c, got, truth)
+		}
+	}
+}
+
+func TestUnseenPooledWithoutDomain(t *testing.T) {
+	e, err := New([]string{"a", "b", "c", "c"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two singletons of four samples: pooled unseen estimate 0.5.
+	if got := e.Selectivity("z"); got != 0.5 {
+		t.Fatalf("pooled unseen σ̂ = %v", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package core ties the estimator substrates together: it defines the
+// common Estimator interface and a single Build entry point that
+// constructs any of the paper's estimation methods from a sample set and a
+// declarative Options value, applying the paper's smoothing-parameter
+// rules when the caller does not fix the parameter explicitly.
+package core
+
+import (
+	"fmt"
+
+	"selest/internal/bandwidth"
+	"selest/internal/histogram"
+	"selest/internal/hybrid"
+	"selest/internal/kde"
+	"selest/internal/kernel"
+	"selest/internal/sample"
+	"selest/internal/wavelet"
+)
+
+// Estimator is a one-dimensional range-selectivity estimator: Selectivity
+// returns the estimated fraction of records in [a, b], in [0, 1].
+type Estimator interface {
+	Selectivity(a, b float64) float64
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// Method selects an estimation technique.
+type Method string
+
+// The estimation methods of the paper's comparison, plus the v-optimal
+// extension.
+const (
+	// Sampling is the pure-sampling baseline (paper §2).
+	Sampling Method = "sampling"
+	// Uniform is the one-bin uniform-assumption estimator (System R).
+	Uniform Method = "uniform"
+	// EquiWidth is the equi-width histogram (paper §3.1).
+	EquiWidth Method = "equi-width"
+	// EquiDepth is the equi-depth histogram (paper §3.1).
+	EquiDepth Method = "equi-depth"
+	// MaxDiff is the max-diff histogram (paper §3.1).
+	MaxDiff Method = "max-diff"
+	// VOptimal is the v-optimal histogram (extension baseline).
+	VOptimal Method = "v-optimal"
+	// EndBiased is the end-biased histogram (extension): exact singleton
+	// buckets for the most frequent values plus an equi-width rest.
+	EndBiased Method = "end-biased"
+	// Wavelet is the Haar-wavelet synopsis estimator of Matias, Vitter &
+	// Wang (the paper's reference [4]; extension comparator).
+	Wavelet Method = "wavelet"
+	// ASH is the average shifted histogram (paper §3.1).
+	ASH Method = "ash"
+	// FrequencyPolygon interpolates an equi-width histogram's bin
+	// densities linearly (extension): kernel-class convergence at
+	// histogram cost, and no jump points.
+	FrequencyPolygon Method = "frequency-polygon"
+	// Kernel is kernel selectivity estimation (paper §3.2).
+	Kernel Method = "kernel"
+	// VariableKernel is sample-point adaptive kernel estimation
+	// (Abramson's square-root law; extension beyond the paper).
+	VariableKernel Method = "variable-kernel"
+	// Hybrid is the paper's histogram/kernel hybrid (§3.3).
+	Hybrid Method = "hybrid"
+)
+
+// Methods lists every method Build accepts, in comparison order.
+func Methods() []Method {
+	return []Method{Sampling, Uniform, EquiWidth, EquiDepth, MaxDiff, VOptimal, EndBiased, Wavelet, ASH, FrequencyPolygon, Kernel, VariableKernel, Hybrid}
+}
+
+// BandwidthRule selects how the smoothing parameter is chosen when the
+// caller does not fix it (paper §4).
+type BandwidthRule string
+
+// The smoothing-parameter selection rules.
+const (
+	// NormalScale is the paper's normal scale rule (§4.1/§4.2 — the
+	// default).
+	NormalScale BandwidthRule = "normal-scale"
+	// DPI is the direct plug-in rule (§4.3); Options.DPISteps sets the
+	// iteration count (default 2, the paper's choice).
+	DPI BandwidthRule = "dpi"
+	// LSCV is least-squares cross-validation (extension).
+	LSCV BandwidthRule = "lscv"
+)
+
+// Options configures Build. The zero value plus a domain builds a kernel
+// estimator with Epanechnikov kernel, boundary kernels, and the normal
+// scale rule — the paper's recommended default for smooth data.
+type Options struct {
+	// Method selects the estimator; empty defaults to Kernel.
+	Method Method
+	// DomainLo/DomainHi bound the attribute domain. Required.
+	DomainLo, DomainHi float64
+
+	// Bins fixes the number of histogram bins; 0 derives it from the
+	// bin-width rule. Ignored by non-histogram methods.
+	Bins int
+	// MaxBins caps rule-derived bin counts (0 = 8192, a safety net for
+	// degenerate scale estimates). Ignored when Bins is set.
+	MaxBins int
+	// ASHShifts sets the number of shifted histograms for ASH
+	// (0 = 10, the paper's figure-12 configuration).
+	ASHShifts int
+	// Singletons sets the number of exact singleton buckets for the
+	// end-biased histogram (0 = 16).
+	Singletons int
+	// WaveletCoefficients sets the synopsis size of the wavelet estimator
+	// (0 = 64).
+	WaveletCoefficients int
+
+	// Bandwidth fixes the kernel bandwidth; 0 derives it from Rule.
+	Bandwidth float64
+	// Rule selects the smoothing-parameter rule when Bins/Bandwidth are
+	// derived; empty defaults to NormalScale.
+	Rule BandwidthRule
+	// DPISteps is the DPI iteration count; 0 defaults to 2.
+	DPISteps int
+	// Kernel selects the kernel function; nil defaults to Epanechnikov.
+	Kernel kernel.Kernel
+	// Boundary selects the kernel boundary treatment; the zero value is
+	// kde.BoundaryNone. The paper's best kernel configuration uses
+	// kde.BoundaryKernels.
+	Boundary kde.BoundaryMode
+
+	// HybridConfig tunes the hybrid estimator; the zero value applies the
+	// defaults of package hybrid.
+	HybridConfig hybrid.Config
+}
+
+// Build constructs the estimator described by opts from the sample set.
+func Build(samples []float64, opts Options) (Estimator, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: empty sample set")
+	}
+	if !(opts.DomainHi > opts.DomainLo) {
+		return nil, fmt.Errorf("core: domain [%v, %v] is empty", opts.DomainLo, opts.DomainHi)
+	}
+	method := opts.Method
+	if method == "" {
+		method = Kernel
+	}
+	switch method {
+	case Sampling:
+		return sample.NewPureEstimator(samples), nil
+	case Uniform:
+		return histogram.BuildUniform(samples, opts.DomainLo, opts.DomainHi)
+	case EquiWidth:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return histogram.BuildEquiWidth(samples, k, opts.DomainLo, opts.DomainHi)
+	case EquiDepth:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return histogram.BuildEquiDepth(samples, k)
+	case MaxDiff:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return histogram.BuildMaxDiff(samples, k)
+	case VOptimal:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return histogram.BuildVOptimal(samples, k, 0)
+	case EndBiased:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		singles := opts.Singletons
+		if singles == 0 {
+			singles = 16
+		}
+		return histogram.BuildEndBiased(samples, singles, k, opts.DomainLo, opts.DomainHi)
+	case Wavelet:
+		return wavelet.New(samples, wavelet.Config{
+			Coefficients: opts.WaveletCoefficients,
+			DomainLo:     opts.DomainLo,
+			DomainHi:     opts.DomainHi,
+		})
+	case ASH:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		shifts := opts.ASHShifts
+		if shifts == 0 {
+			shifts = 10
+		}
+		return histogram.BuildASH(samples, k, shifts, opts.DomainLo, opts.DomainHi)
+	case FrequencyPolygon:
+		k, err := binCount(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return histogram.BuildFrequencyPolygon(samples, k, opts.DomainLo, opts.DomainHi)
+	case Kernel:
+		h, err := kernelBandwidth(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return kde.New(samples, kde.Config{
+			Kernel:    opts.Kernel,
+			Bandwidth: h,
+			Boundary:  opts.Boundary,
+			DomainLo:  opts.DomainLo,
+			DomainHi:  opts.DomainHi,
+		})
+	case VariableKernel:
+		h, err := kernelBandwidth(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return kde.NewVariable(samples, kde.VariableConfig{
+			Kernel:         opts.Kernel,
+			PilotBandwidth: h,
+			Reflect:        opts.Boundary != kde.BoundaryNone,
+			DomainLo:       opts.DomainLo,
+			DomainHi:       opts.DomainHi,
+		})
+	case Hybrid:
+		return hybrid.New(samples, opts.DomainLo, opts.DomainHi, opts.HybridConfig)
+	default:
+		return nil, fmt.Errorf("core: unknown method %q", method)
+	}
+}
+
+// binCount resolves the histogram bin count from Options.
+func binCount(samples []float64, opts Options) (int, error) {
+	if opts.Bins > 0 {
+		return opts.Bins, nil
+	}
+	maxBins := opts.MaxBins
+	if maxBins == 0 {
+		maxBins = 8192
+	}
+	rule := opts.Rule
+	if rule == "" {
+		rule = NormalScale
+	}
+	var (
+		width float64
+		err   error
+	)
+	switch rule {
+	case NormalScale:
+		width, err = bandwidth.NormalScaleBinWidth(samples)
+	case DPI:
+		steps := opts.DPISteps
+		if steps == 0 {
+			steps = 2
+		}
+		width, err = bandwidth.DPIBinWidth(samples, steps, opts.DomainLo, opts.DomainHi)
+	case LSCV:
+		return 0, fmt.Errorf("core: LSCV selects kernel bandwidths, not bin counts")
+	default:
+		return 0, fmt.Errorf("core: unknown bandwidth rule %q", rule)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return bandwidth.BinsForWidth(width, opts.DomainLo, opts.DomainHi, maxBins), nil
+}
+
+// kernelBandwidth resolves the kernel bandwidth from Options.
+func kernelBandwidth(samples []float64, opts Options) (float64, error) {
+	if opts.Bandwidth > 0 {
+		return opts.Bandwidth, nil
+	}
+	k := opts.Kernel
+	if k == nil {
+		k = kernel.Epanechnikov{}
+	}
+	rule := opts.Rule
+	if rule == "" {
+		rule = NormalScale
+	}
+	switch rule {
+	case NormalScale:
+		return bandwidth.NormalScaleBandwidth(samples, k)
+	case DPI:
+		steps := opts.DPISteps
+		if steps == 0 {
+			steps = 2
+		}
+		return bandwidth.DPIBandwidth(samples, k, steps, opts.DomainLo, opts.DomainHi)
+	case LSCV:
+		span := opts.DomainHi - opts.DomainLo
+		return bandwidth.LSCVBandwidth(samples, k, span/1e4, span/2, 48)
+	default:
+		return 0, fmt.Errorf("core: unknown bandwidth rule %q", rule)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/kde"
+	"selest/internal/kernel"
+	"selest/internal/xrand"
+)
+
+func testSamples(n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Floor(r.Float64() * 1000)
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{DomainHi: 1}); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	if _, err := Build([]float64{1}, Options{}); err == nil {
+		t.Fatal("empty domain should error")
+	}
+	if _, err := Build([]float64{1}, Options{Method: "bogus", DomainHi: 1}); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	if _, err := Build(testSamples(100, 1), Options{Method: EquiWidth, Rule: "bogus", DomainHi: 1000}); err == nil {
+		t.Fatal("unknown rule should error")
+	}
+	if _, err := Build(testSamples(100, 1), Options{Method: EquiWidth, Rule: LSCV, DomainHi: 1000}); err == nil {
+		t.Fatal("LSCV for histograms should error")
+	}
+}
+
+func TestBuildEveryMethod(t *testing.T) {
+	samples := testSamples(2000, 2)
+	for _, m := range Methods() {
+		est, err := Build(samples, Options{Method: m, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if est.Name() == "" {
+			t.Fatalf("%s: empty Name", m)
+		}
+		// 10% interior query on uniform data: every method should land
+		// within a loose tolerance of 0.1.
+		got := est.Selectivity(450, 550)
+		if math.Abs(got-0.1) > 0.05 {
+			t.Fatalf("%s: σ̂(450,550) = %v, want ~0.1", m, got)
+		}
+		// Basic sanity.
+		if s := est.Selectivity(0, 1000); s < 0.9 || s > 1 {
+			t.Fatalf("%s: whole-domain σ̂ = %v", m, s)
+		}
+		if est.Selectivity(900, 100) != 0 {
+			t.Fatalf("%s: inverted query should be 0", m)
+		}
+	}
+}
+
+func TestBuildDefaultsToKernel(t *testing.T) {
+	est, err := Build(testSamples(500, 3), Options{DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := est.(*kde.Estimator); !ok {
+		t.Fatalf("default method built %T, want *kde.Estimator", est)
+	}
+}
+
+func TestBuildFixedParameters(t *testing.T) {
+	samples := testSamples(1000, 4)
+	est, err := Build(samples, Options{Method: EquiWidth, Bins: 7, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type binned interface{ Bins() int }
+	if b, ok := est.(binned); !ok || b.Bins() != 7 {
+		t.Fatalf("fixed bins not honoured: %T", est)
+	}
+
+	kest, err := Build(samples, Options{Method: Kernel, Bandwidth: 42, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kest.(*kde.Estimator).Bandwidth() != 42 {
+		t.Fatal("fixed bandwidth not honoured")
+	}
+}
+
+func TestBuildRules(t *testing.T) {
+	samples := testSamples(2000, 5)
+	for _, rule := range []BandwidthRule{NormalScale, DPI, LSCV} {
+		est, err := Build(samples, Options{Method: Kernel, Rule: rule, Boundary: kde.BoundaryKernels, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatalf("rule %s: %v", rule, err)
+		}
+		h := est.(*kde.Estimator).Bandwidth()
+		if h <= 0 || h > 500 {
+			t.Fatalf("rule %s: implausible bandwidth %v", rule, h)
+		}
+	}
+}
+
+func TestBuildKernelChoice(t *testing.T) {
+	samples := testSamples(500, 6)
+	est, err := Build(samples, Options{Method: Kernel, Kernel: kernel.Biweight{}, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.(*kde.Estimator).Kernel().Name() != "biweight" {
+		t.Fatal("kernel choice not honoured")
+	}
+}
+
+func TestBuildASHShifts(t *testing.T) {
+	samples := testSamples(500, 7)
+	est, err := Build(samples, Options{Method: ASH, ASHShifts: 4, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type shifted interface{ Shifts() int }
+	if s, ok := est.(shifted); !ok || s.Shifts() != 4 {
+		t.Fatal("ASH shifts not honoured")
+	}
+}
+
+func TestMethodsComplete(t *testing.T) {
+	if len(Methods()) != 13 {
+		t.Fatalf("Methods() lists %d methods", len(Methods()))
+	}
+}

@@ -1,0 +1,67 @@
+package dataset
+
+import "fmt"
+
+// DefaultSeed is the seed of the default catalog; experiments and benches
+// use it so that every run regenerates identical files.
+const DefaultSeed = 19990601 // SIGMOD '99, Philadelphia
+
+// syntheticRecords is the record count of the artificial files (Table 2).
+const syntheticRecords = 100000
+
+// Catalog returns all data files of Table 2, generated deterministically
+// from the seed. The full catalog holds ~1.3M records and generates in
+// well under a second.
+func Catalog(seed uint64) []*File {
+	specs := catalogSpecs()
+	out := make([]*File, len(specs))
+	for i, s := range specs {
+		out[i] = s.build(seed)
+	}
+	return out
+}
+
+// ByName generates the single catalog file with the given paper name
+// (e.g. "n(20)", "arap1", "rr1(22)", "iw").
+func ByName(name string, seed uint64) (*File, error) {
+	for _, f := range catalogSpecs() {
+		if f.name == name {
+			return f.build(seed), nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown data file %q", name)
+}
+
+// Names lists the catalog file names in Table 2 order.
+func Names() []string {
+	specs := catalogSpecs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.name
+	}
+	return out
+}
+
+type spec struct {
+	name  string
+	build func(seed uint64) *File
+}
+
+func catalogSpecs() []spec {
+	return []spec{
+		{"u(15)", func(s uint64) *File { return UniformFile(15, syntheticRecords, s+1) }},
+		{"u(20)", func(s uint64) *File { return UniformFile(20, syntheticRecords, s+2) }},
+		{"n(10)", func(s uint64) *File { return NormalFile(10, syntheticRecords, s+3) }},
+		{"n(15)", func(s uint64) *File { return NormalFile(15, syntheticRecords, s+4) }},
+		{"n(20)", func(s uint64) *File { return NormalFile(20, syntheticRecords, s+5) }},
+		{"e(15)", func(s uint64) *File { return ExponentialFile(15, syntheticRecords, s+6) }},
+		{"e(20)", func(s uint64) *File { return ExponentialFile(20, syntheticRecords, s+7) }},
+		{"arap1", func(s uint64) *File { return ArapFile(1, s+8) }},
+		{"arap2", func(s uint64) *File { return ArapFile(2, s+9) }},
+		{"rr1(12)", func(s uint64) *File { return RRFile(1, 12, s+10) }},
+		{"rr1(22)", func(s uint64) *File { return RRFile(1, 22, s+10) }},
+		{"rr2(12)", func(s uint64) *File { return RRFile(2, 12, s+11) }},
+		{"rr2(22)", func(s uint64) *File { return RRFile(2, 22, s+11) }},
+		{"iw", func(s uint64) *File { return IWFile(s + 12) }},
+	}
+}

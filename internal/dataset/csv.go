@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls LoadCSV.
+type CSVOptions struct {
+	// Column selects which field carries the attribute, by header name
+	// (when Header is true) or by 0-based index encoded as a number in a
+	// string (e.g. "2"). An empty Column means field 0.
+	Column string
+	// Header indicates the first row is a header row.
+	Header bool
+	// Comma is the field separator; zero defaults to ','.
+	Comma rune
+	// AllowMissing skips rows whose attribute field is empty or "NULL"
+	// instead of failing.
+	AllowMissing bool
+}
+
+// LoadCSV reads one numeric column of a CSV stream into a data file —
+// the ingestion path for users bringing their own relations. The domain
+// parameter P is derived from the observed maximum (smallest p with
+// max < 2^p); name is recorded as the file name.
+func LoadCSV(r io.Reader, name string, opts CSVOptions) (*File, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+
+	col := 0
+	var header []string
+	if opts.Header {
+		row, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv header: %w", err)
+		}
+		header = append(header, row...)
+	}
+	switch {
+	case opts.Column == "":
+		col = 0
+	case opts.Header && !isNumeric(opts.Column):
+		col = -1
+		for i, h := range header {
+			if strings.TrimSpace(h) == opts.Column {
+				col = i
+				break
+			}
+		}
+		if col == -1 {
+			return nil, fmt.Errorf("dataset: csv has no column %q (header: %v)", opts.Column, header)
+		}
+	default:
+		idx, err := strconv.Atoi(opts.Column)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("dataset: bad column selector %q", opts.Column)
+		}
+		col = idx
+	}
+
+	var records []float64
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", line, err)
+		}
+		if col >= len(row) {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, need column %d", line, len(row), col)
+		}
+		field := strings.TrimSpace(row[col])
+		if field == "" || strings.EqualFold(field, "null") || strings.EqualFold(field, "nan") {
+			if opts.AllowMissing {
+				continue
+			}
+			return nil, fmt.Errorf("dataset: csv row %d: missing value (set AllowMissing to skip)", line)
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", line, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: csv row %d: non-finite value", line)
+		}
+		records = append(records, v)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv holds no records")
+	}
+	return &File{
+		Name:        name,
+		Description: "imported CSV column",
+		P:           domainP(records),
+		Records:     records,
+	}, nil
+}
+
+// LoadCSVFile reads a CSV file from disk.
+func LoadCSVFile(path, column string, header bool) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return LoadCSV(f, strings.TrimSuffix(path, ".csv"), CSVOptions{
+		Column: column, Header: header, AllowMissing: true,
+	})
+}
+
+// domainP returns the smallest p with max(records) < 2^p, so the imported
+// file's Domain() covers the data. Negative values yield p such that the
+// magnitude fits; Domain() is documented as [0, 2^p−1], so importers of
+// signed data should shift first — we pick p from the absolute maximum so
+// at least the positive side is always covered.
+func domainP(records []float64) int {
+	maxAbs := 0.0
+	for _, v := range records {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	p := 1
+	for math.Pow(2, float64(p))-1 < maxAbs && p < 62 {
+		p++
+	}
+	return p
+}
+
+// isNumeric reports whether s parses as a non-negative integer.
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVBasic(t *testing.T) {
+	in := "id,amount,qty\n1,10.5,2\n2,20,3\n3,30.25,4\n"
+	f, err := LoadCSV(strings.NewReader(in), "orders", CSVOptions{Column: "amount", Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	want := []float64{10.5, 20, 30.25}
+	for i, v := range want {
+		if f.Records[i] != v {
+			t.Fatalf("record %d = %v, want %v", i, f.Records[i], v)
+		}
+	}
+	if f.Name != "orders" {
+		t.Fatalf("Name = %q", f.Name)
+	}
+	// Domain must cover the max value: 30.25 < 2^5 − 1 = 31.
+	if _, hi := f.Domain(); hi < 30.25 {
+		t.Fatalf("domain hi %v does not cover max value", hi)
+	}
+}
+
+func TestLoadCSVByIndex(t *testing.T) {
+	in := "1,100\n2,200\n"
+	f, err := LoadCSV(strings.NewReader(in), "t", CSVOptions{Column: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records[0] != 100 || f.Records[1] != 200 {
+		t.Fatalf("records = %v", f.Records)
+	}
+}
+
+func TestLoadCSVDefaultColumn(t *testing.T) {
+	f, err := LoadCSV(strings.NewReader("5\n6\n"), "t", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records[0] != 5 {
+		t.Fatalf("records = %v", f.Records)
+	}
+}
+
+func TestLoadCSVMissingValues(t *testing.T) {
+	in := "v\n1\n\n2\nNULL\n3\n"
+	// Strict: fails on the empty field.
+	if _, err := LoadCSV(strings.NewReader(in), "t", CSVOptions{Column: "v", Header: true}); err == nil {
+		t.Fatal("missing value should fail without AllowMissing")
+	}
+	f, err := LoadCSV(strings.NewReader(in), "t", CSVOptions{Column: "v", Header: true, AllowMissing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (missing skipped)", f.Len())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader("a\nxyz\n"), "t", CSVOptions{Header: true}); err == nil {
+		t.Fatal("non-numeric field should fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("a,b\n1,2\n"), "t", CSVOptions{Column: "nope", Header: true}); err == nil {
+		t.Fatal("unknown header column should fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("1\n"), "t", CSVOptions{Column: "5"}); err == nil {
+		t.Fatal("out-of-range column should fail")
+	}
+	if _, err := LoadCSV(strings.NewReader(""), "t", CSVOptions{}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("v\nInf\n"), "t", CSVOptions{Header: true}); err == nil {
+		t.Fatal("non-finite value should fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("1\n"), "t", CSVOptions{Column: "-1"}); err == nil {
+		t.Fatal("negative column should fail")
+	}
+}
+
+func TestLoadCSVSeparator(t *testing.T) {
+	f, err := LoadCSV(strings.NewReader("1;2\n3;4\n"), "t", CSVOptions{Column: "1", Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records[0] != 2 || f.Records[1] != 4 {
+		t.Fatalf("records = %v", f.Records)
+	}
+}
+
+func TestLoadCSVFileOnDisk(t *testing.T) {
+	path := t.TempDir() + "/vals.csv"
+	if err := os.WriteFile(path, []byte("v\n7\n8\n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadCSVFile(path, "v", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if _, err := LoadCSVFile(path+".missing", "v", true); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestDomainP(t *testing.T) {
+	cases := []struct {
+		max  float64
+		want int
+	}{
+		{1, 1}, // 1 <= 2^1−1
+		{3, 2}, // 3 <= 2^2−1
+		{4, 3}, // 4 > 3 → p=3 (max 7)
+		{1000, 10},
+	}
+	for _, c := range cases {
+		if got := domainP([]float64{0, c.max}); got != c.want {
+			t.Errorf("domainP(max=%v) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}

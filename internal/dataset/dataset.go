@@ -1,0 +1,115 @@
+// Package dataset reproduces the data files of the paper's evaluation
+// (Table 2): synthetic files following Uniform, Normal and Exponential
+// distributions mapped onto the integer domain [0, 2^p − 1], and synthetic
+// stand-ins for the real files (TIGER/Line county coordinates, rail-road &
+// river coordinates, census instance weights) that are not available
+// offline — see DESIGN.md §4 for the substitution argument.
+//
+// Every file is deterministic given its seed; the default catalog
+// reproduces Table 2's record counts and domain parameters exactly.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/dist"
+	"selest/internal/xrand"
+)
+
+// File is one data file of the evaluation: a named set of integer-valued
+// records over the domain [0, 2^p − 1].
+type File struct {
+	// Name is the paper's file identifier, e.g. "n(20)" or "arap1".
+	Name string
+	// Description states the data distribution, matching Table 2.
+	Description string
+	// P sets the domain [0, 2^P − 1] ("domain cardinality" 2^P).
+	P int
+	// Records holds the attribute values, each an integer in the domain.
+	Records []float64
+	// Truth is the analytic distribution the records were drawn from, when
+	// one exists (synthetic files); nil for the real-data stand-ins, whose
+	// ground truth is the file instance itself.
+	Truth dist.Distribution
+}
+
+// Domain returns the attribute domain [0, 2^P − 1].
+func (f *File) Domain() (lo, hi float64) {
+	return 0, math.Pow(2, float64(f.P)) - 1
+}
+
+// Len returns the number of records.
+func (f *File) Len() int { return len(f.Records) }
+
+// String implements fmt.Stringer with the Table 2 row format.
+func (f *File) String() string {
+	return fmt.Sprintf("%-8s %-28s p=%-3d #records=%d", f.Name, f.Description, f.P, len(f.Records))
+}
+
+// drawMapped fills n records by drawing from d and keeping only draws that
+// round into the integer domain [0, 2^p−1], matching the paper's "we did
+// not consider data records that were outside of the domain".
+func drawMapped(r *xrand.RNG, d dist.Distribution, p, n int) []float64 {
+	hi := math.Pow(2, float64(p)) - 1
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		v := math.Round(d.Sample(r))
+		if v >= 0 && v <= hi {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// UniformFile generates u(p): n records uniform over the integer domain.
+func UniformFile(p, n int, seed uint64) *File {
+	r := xrand.New(seed)
+	hi := math.Pow(2, float64(p))
+	records := make([]float64, n)
+	for i := range records {
+		records[i] = math.Floor(r.Float64() * hi)
+	}
+	return &File{
+		Name:        fmt.Sprintf("u(%d)", p),
+		Description: "Uniform",
+		P:           p,
+		Records:     records,
+		Truth:       dist.NewUniform(0, hi-1),
+	}
+}
+
+// NormalFile generates n(p): records from a Normal whose mean sits at the
+// centre of the domain (the paper's mapping) with σ = 2^p/8, so ±4σ spans
+// the domain and truncation discards almost nothing.
+func NormalFile(p, n int, seed uint64) *File {
+	r := xrand.New(seed)
+	hi := math.Pow(2, float64(p)) - 1
+	mu := hi / 2
+	sigma := (hi + 1) / 8
+	inner := dist.NewNormal(mu, sigma)
+	return &File{
+		Name:        fmt.Sprintf("n(%d)", p),
+		Description: "Normal",
+		P:           p,
+		Records:     drawMapped(r, inner, p, n),
+		Truth:       dist.NewTruncated(inner, 0, hi),
+	}
+}
+
+// ExponentialFile generates e(p): records from an Exponential with mean at
+// one eighth of the domain — highly skewed with the mass at the left
+// boundary, the paper's stand-in for Zipf.
+func ExponentialFile(p, n int, seed uint64) *File {
+	r := xrand.New(seed)
+	hi := math.Pow(2, float64(p)) - 1
+	rate := 8 / (hi + 1)
+	inner := dist.NewExponential(rate)
+	return &File{
+		Name:        fmt.Sprintf("e(%d)", p),
+		Description: "Exponential",
+		P:           p,
+		Records:     drawMapped(r, inner, p, n),
+		Truth:       dist.NewTruncated(inner, 0, hi),
+	}
+}

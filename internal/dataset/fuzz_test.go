@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the binary loader: it must reject or
+// accept them without panicking or over-allocating, and anything it
+// accepts must round-trip.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid file and some near-misses.
+	valid := UniformFile(8, 50, 1)
+	var buf bytes.Buffer
+	if err := valid.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SELD"))
+	f.Add([]byte("SELDxxxxxxxxxxxxxxxxxxx"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		df, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: must re-save and re-load identically.
+		var out bytes.Buffer
+		if err := df.Save(&out); err != nil {
+			t.Fatalf("accepted file failed to save: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != df.Len() || again.Name != df.Name {
+			t.Fatal("round trip changed the file")
+		}
+	})
+}
+
+// FuzzLoadCSV feeds arbitrary text to the CSV importer.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n", "a", true)
+	f.Add("1\n2\n", "", false)
+	f.Add("x;y\n", "0", false)
+	f.Fuzz(func(t *testing.T, data, column string, header bool) {
+		df, err := LoadCSV(strings.NewReader(data), "fuzz", CSVOptions{
+			Column: column, Header: header, AllowMissing: true,
+		})
+		if err != nil {
+			return
+		}
+		if df.Len() == 0 {
+			t.Fatal("accepted CSV with zero records")
+		}
+		for _, v := range df.Records {
+			if v != v { // NaN
+				t.Fatal("accepted NaN record")
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/xrand"
+)
+
+// This file generates the synthetic stand-ins for the paper's real data
+// files. The originals (TIGER/Line extracts and a census instance-weight
+// column) are unavailable offline; what matters for the paper's
+// conclusions is their statistical character, not their exact values:
+//
+//   - coordinate data from county maps is *clumpy*: settlements, road
+//     grids and rivers concentrate endpoints in many narrow clusters with
+//     a few dominating — a density full of change points, which is the
+//     regime where the hybrid estimator beats the plain kernel estimator
+//     (paper Figs. 11, 12);
+//   - the census instance-weight column is *heavily duplicated*: a few
+//     hundred distinct values cover hundreds of thousands of records.
+//
+// The generators below reproduce those two characters deterministically.
+
+// clusteredFile draws records from a cluster process on [0, 2^p−1] and
+// rounds them to integers, clipping strays to the domain.
+func clusteredFile(name string, p, n, clusters int, spreadFrac float64, withRoads bool, seed uint64) *File {
+	lo, hi := 0.0, math.Pow(2, float64(p))-1
+	proc, err := xrand.NewClusterProcess(xrand.ClusterConfig{
+		Clusters:    clusters,
+		Lo:          lo,
+		Hi:          hi,
+		SpreadFrac:  spreadFrac,
+		WeightDecay: 1.1,
+		Seed:        seed,
+	})
+	if err != nil {
+		// Configurations are compile-time constants below; an error here
+		// is a programming bug, not a runtime condition.
+		panic(fmt.Sprintf("dataset: cluster process: %v", err))
+	}
+	r := xrand.New(seed + 1)
+	// "Roads": uniform stretches between random endpoints, standing in for
+	// the near-linear coordinate runs that road/rail segments produce when
+	// one dimension of their endpoints is projected out.
+	type road struct{ a, b float64 }
+	var roads []road
+	if withRoads {
+		pr := xrand.New(seed + 2)
+		for i := 0; i < 8; i++ {
+			a := pr.Float64() * hi
+			b := a + pr.Float64()*hi/6
+			if b > hi {
+				b = hi
+			}
+			roads = append(roads, road{a, b})
+		}
+	}
+	records := make([]float64, 0, n)
+	for len(records) < n {
+		var v float64
+		if withRoads && r.Float64() < 0.35 {
+			rd := roads[r.Intn(len(roads))]
+			v = r.UniformRange(rd.a, rd.b)
+		} else {
+			v = proc.Draw(r)
+		}
+		v = math.Round(v)
+		if v < lo || v > hi {
+			continue
+		}
+		records = append(records, v)
+	}
+	return &File{
+		Name:        name,
+		Description: "clustered spatial (synthetic stand-in)",
+		P:           p,
+		Records:     records,
+	}
+}
+
+// ArapFile generates the stand-in for the Arapahoe county TIGER/Line
+// coordinate files: dim selects the paper's first (p=21) or second (p=18)
+// dimension. 52,120 records as in Table 2.
+func ArapFile(dim int, seed uint64) *File {
+	switch dim {
+	case 1:
+		f := clusteredFile("arap1", 21, 52120, 140, 0.012, false, seed)
+		f.Description = "Arapahoe, 1st dim. (synthetic stand-in)"
+		return f
+	case 2:
+		f := clusteredFile("arap2", 18, 52120, 140, 0.012, false, seed+100)
+		f.Description = "Arapahoe, 2nd dim. (synthetic stand-in)"
+		return f
+	default:
+		panic(fmt.Sprintf("dataset: ArapFile dim must be 1 or 2, got %d", dim))
+	}
+}
+
+// RRFile generates the stand-in for the rail-road & rivers TIGER/Line
+// files: dim ∈ {1,2}, p ∈ {12, 22} per Table 2. 257,942 records.
+func RRFile(dim, p int, seed uint64) *File {
+	if dim != 1 && dim != 2 {
+		panic(fmt.Sprintf("dataset: RRFile dim must be 1 or 2, got %d", dim))
+	}
+	name := fmt.Sprintf("rr%d(%d)", dim, p)
+	f := clusteredFile(name, p, 257942, 180, 0.010, true, seed+uint64(dim)*1000+uint64(p))
+	f.Description = fmt.Sprintf("Rail road & Rivers, %d. dim. (synthetic stand-in)", dim)
+	return f
+}
+
+// IWFile generates the stand-in for the census instance-weight column:
+// 199,523 records over p=21 with heavy duplication — a log-normal-ish
+// spread of a few hundred distinct values with Zipf-like frequencies.
+func IWFile(seed uint64) *File {
+	const (
+		p        = 21
+		n        = 199523
+		distinct = 1500
+	)
+	hi := math.Pow(2, float64(p)) - 1
+	placement := xrand.New(seed)
+	// Distinct weight values: exp of a normal spread, scaled into the
+	// domain's lower half (instance weights cluster around a norm).
+	values := make([]float64, distinct)
+	for i := range values {
+		v := math.Exp(placement.NormalMeanStd(0, 0.35)) * hi / 8
+		values[i] = math.Round(math.Min(v, hi))
+	}
+	r := xrand.New(seed + 1)
+	z := xrand.NewZipf(r, 1.4, 1, distinct-1)
+	records := make([]float64, n)
+	for i := range records {
+		records[i] = values[z.Uint64()]
+	}
+	return &File{
+		Name:        "iw",
+		Description: "Instance Weight (synthetic stand-in)",
+		P:           p,
+		Records:     records,
+	}
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xmath"
+)
+
+// This file targets the edges the main contract suite does not reach:
+// accessor methods, out-of-support evaluations, and the truncated
+// distribution's numeric roughness functionals.
+
+func TestMeanStdAccessors(t *testing.T) {
+	if n := NewNormal(3, 2); n.Mean() != 3 || n.Std() != 2 {
+		t.Fatal("normal Mean/Std wrong")
+	}
+	if e := NewExponential(4); e.Mean() != 0.25 || e.Std() != 0.25 {
+		t.Fatal("exponential Mean/Std wrong")
+	}
+	u := NewUniform(0, 12)
+	if u.Mean() != 6 || !xmath.AlmostEqual(u.Std(), 12/math.Sqrt(12), 1e-12) {
+		t.Fatal("uniform Mean/Std wrong")
+	}
+}
+
+func TestOutOfSupportEvaluations(t *testing.T) {
+	e := NewExponential(1)
+	if e.PDF(-1) != 0 || e.CDF(-1) != 0 {
+		t.Fatal("exponential below support should be 0")
+	}
+	if !math.IsInf(e.Quantile(1), 1) {
+		t.Fatal("exponential Quantile(1) should be +Inf")
+	}
+	if e.Quantile(-0.5) != 0 {
+		t.Fatal("clamped quantile below 0 should be the support start")
+	}
+	u := NewUniform(0, 1)
+	if u.PDF(-0.1) != 0 || u.PDF(1.1) != 0 {
+		t.Fatal("uniform outside support should be 0")
+	}
+	if u.CDF(-1) != 0 || u.CDF(2) != 1 {
+		t.Fatal("uniform CDF limits wrong")
+	}
+	tr := NewTruncated(NewNormal(0, 1), -1, 1)
+	if tr.PDF(-2) != 0 || tr.PDF(2) != 0 {
+		t.Fatal("truncated outside interval should be 0")
+	}
+}
+
+func TestTruncatedInnerAndQuantileClamp(t *testing.T) {
+	inner := NewNormal(0, 1)
+	tr := NewTruncated(inner, -1, 1)
+	if tr.Inner() != Distribution(inner) {
+		t.Fatal("Inner should return the wrapped distribution")
+	}
+	if q := tr.Quantile(0); q < -1 || q > 1 {
+		t.Fatalf("Quantile(0) = %v outside interval", q)
+	}
+	if q := tr.Quantile(1); q < -1 || q > 1 {
+		t.Fatalf("Quantile(1) = %v outside interval", q)
+	}
+	lo, hi := tr.Support()
+	if lo != -1 || hi != 1 {
+		t.Fatal("Support wrong")
+	}
+}
+
+func TestTruncatedRoughnessFunctionals(t *testing.T) {
+	// For a wide truncation interval the functionals approach the parent's
+	// closed forms.
+	tr := NewTruncated(NewNormal(0, 1), -8, 8)
+	wantFirst := RoughnessFirst(NewNormal(0, 1))
+	if got := RoughnessFirst(tr); !xmath.AlmostEqual(got, wantFirst, 1e-2) {
+		t.Fatalf("truncated roughnessFirst %v, parent %v", got, wantFirst)
+	}
+	wantSecond := RoughnessSecond(NewNormal(0, 1))
+	if got := RoughnessSecond(tr); !xmath.AlmostEqual(got, wantSecond, 1e-2) {
+		t.Fatalf("truncated roughnessSecond %v, parent %v", got, wantSecond)
+	}
+}
+
+func TestRoughnessSecondNumericPath(t *testing.T) {
+	// Mixture exercises the generic numeric RoughnessSecond (no closed
+	// form); compare against direct integration.
+	m := NewMixture([]Distribution{NewNormal(-2, 1), NewNormal(2, 1)}, []float64{1, 1})
+	got := RoughnessSecond(m)
+	want := xmath.Simpson(func(x float64) float64 {
+		d := xmath.SecondDerivative(m.PDF, x, 1e-3)
+		return d * d
+	}, -10, 10, 8000)
+	if !xmath.AlmostEqual(got, want, 5e-2) {
+		t.Fatalf("mixture RoughnessSecond %v, numeric %v", got, want)
+	}
+}
+
+func TestMixtureAccessorsAndEdges(t *testing.T) {
+	m := NewMixture([]Distribution{NewUniform(0, 1), NewUniform(10, 11)}, []float64{1, 3})
+	if m.Components() != 2 {
+		t.Fatal("Components wrong")
+	}
+	// Quantile extremes hit the support hull.
+	if q := m.Quantile(0); q > 0.01 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := m.Quantile(1); q < 10.99 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	lo, hi := m.Support()
+	if lo != 0 || hi != 11 {
+		t.Fatalf("Support = [%v, %v]", lo, hi)
+	}
+	// Weighted CDF at the gap: first component carries 1/4 of the mass.
+	if got := m.CDF(5); !xmath.AlmostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("CDF(5) = %v", got)
+	}
+}

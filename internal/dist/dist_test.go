@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selest/internal/xmath"
+	"selest/internal/xrand"
+)
+
+// checkDistribution exercises the invariants every Distribution must obey.
+func checkDistribution(t *testing.T, d Distribution, name string) {
+	t.Helper()
+	lo, hi := effectiveSupport(d, 1e-10)
+
+	// CDF is monotone non-decreasing and maps support to ~[0,1].
+	prev := -1.0
+	for _, x := range xmath.Linspace(lo, hi, 200) {
+		c := d.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("%s: CDF not monotone at x=%v: %v < %v", name, x, c, prev)
+		}
+		if c < -1e-12 || c > 1+1e-12 {
+			t.Fatalf("%s: CDF out of [0,1] at x=%v: %v", name, x, c)
+		}
+		prev = c
+	}
+
+	// PDF integrates to ~1 over the effective support.
+	mass := xmath.Simpson(d.PDF, lo, hi, 4000)
+	if math.Abs(mass-1) > 1e-3 {
+		t.Fatalf("%s: PDF integrates to %v, want ~1", name, mass)
+	}
+
+	// Quantile inverts the CDF.
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-6 {
+			t.Fatalf("%s: CDF(Quantile(%v)) = %v", name, p, got)
+		}
+	}
+
+	// Sampling matches the CDF at a few probe points (KS-style check).
+	r := xrand.New(1234)
+	const n = 50000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		x := d.Quantile(p)
+		below := 0
+		for _, s := range samples {
+			if s <= x {
+				below++
+			}
+		}
+		frac := float64(below) / n
+		if math.Abs(frac-p) > 0.02 {
+			t.Fatalf("%s: empirical CDF at q%v = %v, want ~%v", name, p, frac, p)
+		}
+	}
+}
+
+func TestUniformContract(t *testing.T) {
+	checkDistribution(t, NewUniform(-2, 5), "uniform")
+}
+
+func TestNormalContract(t *testing.T) {
+	checkDistribution(t, NewNormal(3, 2), "normal")
+}
+
+func TestExponentialContract(t *testing.T) {
+	checkDistribution(t, NewExponential(1.5), "exponential")
+}
+
+func TestTruncatedContract(t *testing.T) {
+	checkDistribution(t, NewTruncated(NewNormal(0, 1), -2, 2), "truncated normal")
+}
+
+func TestMixtureContract(t *testing.T) {
+	m := NewMixture(
+		[]Distribution{NewNormal(-3, 0.5), NewNormal(4, 1)},
+		[]float64{1, 2},
+	)
+	checkDistribution(t, m, "mixture")
+}
+
+func TestSelectivity(t *testing.T) {
+	u := NewUniform(0, 10)
+	if got := Selectivity(u, 2, 4); !xmath.AlmostEqual(got, 0.2, 1e-12) {
+		t.Fatalf("Selectivity = %v, want 0.2", got)
+	}
+	if got := Selectivity(u, 4, 2); got != 0 {
+		t.Fatalf("inverted range Selectivity = %v, want 0", got)
+	}
+}
+
+func TestNormalQuantileAccuracy(t *testing.T) {
+	n := NewNormal(0, 1)
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 0.99982,  // ≈ 1 sigma
+		0.0228: -1.99908, // ≈ -2 sigma
+	}
+	for p, want := range cases {
+		if got := n.Quantile(p); math.Abs(got-want) > 1e-3 {
+			t.Fatalf("Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Fatal("extreme quantiles should be infinite")
+	}
+}
+
+func TestNormalRoughnessClosedForms(t *testing.T) {
+	n := NewNormal(0, 2)
+	// Verify the closed forms against direct numerical integration.
+	numFirst := xmath.Simpson(func(x float64) float64 {
+		d := xmath.Derivative(n.PDF, x, 1e-5)
+		return d * d
+	}, -20, 20, 8000)
+	if !xmath.AlmostEqual(RoughnessFirst(n), numFirst, 1e-4) {
+		t.Fatalf("roughnessFirst closed form %v vs numeric %v", RoughnessFirst(n), numFirst)
+	}
+	numSecond := xmath.Simpson(func(x float64) float64 {
+		d := xmath.SecondDerivative(n.PDF, x, 1e-4)
+		return d * d
+	}, -20, 20, 8000)
+	if !xmath.AlmostEqual(RoughnessSecond(n), numSecond, 1e-3) {
+		t.Fatalf("roughnessSecond closed form %v vs numeric %v", RoughnessSecond(n), numSecond)
+	}
+}
+
+func TestExponentialRoughnessClosedForms(t *testing.T) {
+	e := NewExponential(2)
+	if got, want := RoughnessFirst(e), 4.0; !xmath.AlmostEqual(got, want, 1e-9) {
+		t.Fatalf("exp roughnessFirst = %v, want %v", got, want)
+	}
+	if got, want := RoughnessSecond(e), 16.0; !xmath.AlmostEqual(got, want, 1e-9) {
+		t.Fatalf("exp roughnessSecond = %v, want %v", got, want)
+	}
+}
+
+func TestUniformRoughnessZero(t *testing.T) {
+	u := NewUniform(0, 1)
+	if RoughnessFirst(u) != 0 || RoughnessSecond(u) != 0 {
+		t.Fatal("uniform roughness functionals must be zero")
+	}
+}
+
+func TestRoughnessNumericFallback(t *testing.T) {
+	// Mixture has no closed form; the generic numeric path must be positive
+	// and finite.
+	m := NewMixture([]Distribution{NewNormal(0, 1), NewNormal(5, 1)}, []float64{1, 1})
+	rf := RoughnessFirst(m)
+	if rf <= 0 || math.IsInf(rf, 0) || math.IsNaN(rf) {
+		t.Fatalf("mixture RoughnessFirst = %v", rf)
+	}
+}
+
+func TestTruncatedRenormalises(t *testing.T) {
+	tr := NewTruncated(NewNormal(0, 1), -1, 1)
+	if got := tr.CDF(1); got != 1 {
+		t.Fatalf("CDF at upper bound = %v, want 1", got)
+	}
+	if got := tr.CDF(-1.0001); got != 0 {
+		t.Fatalf("CDF below lower bound = %v, want 0", got)
+	}
+	// Density must be scaled up relative to the parent.
+	parent := NewNormal(0, 1)
+	if tr.PDF(0) <= parent.PDF(0) {
+		t.Fatal("truncated density should exceed parent density inside interval")
+	}
+}
+
+func TestTruncatedSampleInBounds(t *testing.T) {
+	tr := NewTruncated(NewExponential(1), 0.5, 2)
+	r := xrand.New(5)
+	for i := 0; i < 20000; i++ {
+		x := tr.Sample(r)
+		if x < 0.5 || x > 2 {
+			t.Fatalf("truncated sample out of bounds: %v", x)
+		}
+	}
+}
+
+func TestTruncatedPanicsOnEmptyMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-mass truncation should panic")
+		}
+	}()
+	NewTruncated(NewUniform(0, 1), 5, 6)
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewUniform(1,1)", func() { NewUniform(1, 1) })
+	mustPanic("NewNormal(0,0)", func() { NewNormal(0, 0) })
+	mustPanic("NewExponential(-1)", func() { NewExponential(-1) })
+	mustPanic("NewMixture mismatched", func() {
+		NewMixture([]Distribution{NewNormal(0, 1)}, []float64{1, 2})
+	})
+	mustPanic("NewMixture zero weight", func() {
+		NewMixture([]Distribution{NewNormal(0, 1)}, []float64{0})
+	})
+}
+
+// Property: selectivity is additive over adjacent ranges.
+func TestQuickSelectivityAdditive(t *testing.T) {
+	n := NewNormal(0, 1)
+	prop := func(seed uint8) bool {
+		a := float64(seed)/32 - 4
+		m := a + 0.7
+		b := a + 1.9
+		whole := Selectivity(n, a, b)
+		parts := Selectivity(n, a, m) + Selectivity(n, m, b)
+		return xmath.AlmostEqual(whole, parts, 1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in p.
+func TestQuickQuantileMonotone(t *testing.T) {
+	e := NewExponential(0.7)
+	prop := func(raw uint16) bool {
+		p1 := float64(raw%1000) / 1000
+		p2 := p1 + 0.0005
+		return e.Quantile(p1) <= e.Quantile(p2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

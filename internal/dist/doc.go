@@ -1,0 +1,15 @@
+// Package dist provides analytic probability distributions — PDF, CDF,
+// quantile, sampling, and the density functionals ∫f'² and ∫f”² that the
+// paper's asymptotically optimal smoothing parameters depend on.
+//
+// These distributions serve two roles in the reproduction:
+//
+//  1. They generate the synthetic data files of the evaluation (Uniform,
+//     Normal, Exponential mapped to an integer domain), and
+//  2. they are the ground truth against which MISE and the oracle smoothing
+//     parameters ("h-opt") are computed, which the paper's figures 9 and 11
+//     use as the unachievable-in-practice reference columns.
+//
+// All distributions are immutable values; sampling takes an explicit
+// *xrand.RNG so that data generation stays deterministic.
+package dist

@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"math"
+
+	"selest/internal/xrand"
+)
+
+// Exponential is the Exp(Rate) distribution on [0, ∞). The paper uses it as
+// a stand-in for the Zipf distribution: both are highly skewed with mass
+// concentrated at the left boundary of the domain.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns an Exponential with the given rate. It panics on
+// rate <= 0.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic("dist: exponential requires rate > 0")
+	}
+	return Exponential{Rate: rate}
+}
+
+// PDF returns the density at x.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF returns P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile returns the p-quantile.
+func (e Exponential) Quantile(p float64) float64 {
+	p = clamp01(p)
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Support is [0, ∞).
+func (e Exponential) Support() (float64, float64) {
+	return 0, math.Inf(1)
+}
+
+// Sample draws one variate.
+func (e Exponential) Sample(r *xrand.RNG) float64 {
+	return r.Exponential(e.Rate)
+}
+
+// Mean returns the expectation 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Std returns the standard deviation 1/Rate.
+func (e Exponential) Std() float64 { return 1 / e.Rate }
+
+// roughnessFirst: f'(x) = −λ²e^{−λx}, so ∫f'² = λ³/2.
+func (e Exponential) roughnessFirst() float64 {
+	return e.Rate * e.Rate * e.Rate / 2
+}
+
+// roughnessSecond: f”(x) = λ³e^{−λx}, so ∫f”² = λ⁵/2.
+func (e Exponential) roughnessSecond() float64 {
+	r := e.Rate
+	return r * r * r * r * r / 2
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"selest/internal/xrand"
+)
+
+// Mixture is a finite mixture of component distributions with normalised
+// weights. It is the analytic ground truth we use for clustered,
+// change-point-rich densities (the regime where the paper's hybrid
+// estimator wins).
+type Mixture struct {
+	comps   []Distribution
+	weights []float64 // normalised
+	cum     []float64
+}
+
+// NewMixture builds a mixture from parallel component and weight slices.
+// It panics on mismatched lengths, empty input, or non-positive weights;
+// mixtures are constructed from literals in tests and generators, so a
+// panic is a programming error, not a runtime condition.
+func NewMixture(comps []Distribution, weights []float64) *Mixture {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		panic("dist: mixture needs equal, non-zero numbers of components and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("dist: mixture weights must be positive and finite")
+		}
+		total += w
+	}
+	m := &Mixture{
+		comps:   append([]Distribution(nil), comps...),
+		weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)),
+	}
+	run := 0.0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		run += m.weights[i]
+		m.cum[i] = run
+	}
+	m.cum[len(m.cum)-1] = 1
+	return m
+}
+
+// PDF returns the weighted component density sum at x.
+func (m *Mixture) PDF(x float64) float64 {
+	sum := 0.0
+	for i, c := range m.comps {
+		sum += m.weights[i] * c.PDF(x)
+	}
+	return sum
+}
+
+// CDF returns the weighted component CDF sum at x.
+func (m *Mixture) CDF(x float64) float64 {
+	sum := 0.0
+	for i, c := range m.comps {
+		sum += m.weights[i] * c.CDF(x)
+	}
+	return sum
+}
+
+// Quantile inverts the mixture CDF by bisection between the extreme
+// component quantiles. Mixture CDFs have no closed-form inverse.
+func (m *Mixture) Quantile(p float64) float64 {
+	p = clamp01(p)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.comps {
+		cl := c.Quantile(1e-12)
+		ch := c.Quantile(1 - 1e-12)
+		if cl < lo {
+			lo = cl
+		}
+		if ch > hi {
+			hi = ch
+		}
+	}
+	if p == 0 {
+		return lo
+	}
+	if p == 1 {
+		return hi
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*math.Max(1, math.Abs(lo)+math.Abs(hi)); i++ {
+		mid := 0.5 * (lo + hi)
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// Support returns the union hull of the component supports.
+func (m *Mixture) Support() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.comps {
+		cl, ch := c.Support()
+		if cl < lo {
+			lo = cl
+		}
+		if ch > hi {
+			hi = ch
+		}
+	}
+	return lo, hi
+}
+
+// Sample draws a component by weight, then a variate from it.
+func (m *Mixture) Sample(r *xrand.RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.comps) {
+		i = len(m.comps) - 1
+	}
+	return m.comps[i].Sample(r)
+}
+
+// Components returns the number of mixture components.
+func (m *Mixture) Components() int { return len(m.comps) }

@@ -1,0 +1,213 @@
+package distinct
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selest/internal/sample"
+	"selest/internal/xrand"
+)
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := Profile(nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := Profile([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN should error")
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	p, err := Profile([]float64{1, 1, 1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.D != 3 || p.N != 6 {
+		t.Fatalf("D/N = %d/%d", p.D, p.N)
+	}
+	if p.F[1] != 1 || p.F[2] != 1 || p.F[3] != 1 {
+		t.Fatalf("F = %v", p.F)
+	}
+}
+
+func TestFullScanIsExact(t *testing.T) {
+	// Sample == table: every estimator returns the true distinct count.
+	vals := []float64{1, 2, 2, 3, 3, 3}
+	p, err := Profile(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := p.Goodman(len(vals)); g != 3 {
+		t.Fatalf("Goodman full scan = %v", g)
+	}
+	if g, _ := p.GEE(len(vals)); g != 3 {
+		t.Fatalf("GEE full scan = %v", g)
+	}
+}
+
+func TestEstimatorsOnUniformDuplicates(t *testing.T) {
+	// Population: 1000 distinct values, each duplicated 100 times.
+	pop := make([]float64, 100000)
+	for i := range pop {
+		pop[i] = float64(i % 1000)
+	}
+	r := xrand.New(1)
+	smp, err := sample.WithoutReplacement(r, pop, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Profile(smp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 1000.0
+	chao := p.Chao()
+	gee, err := p.GEE(len(pop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2000 draws over 1000 equal values most values are seen; Chao's
+	// coverage correction must land near the truth.
+	if math.Abs(chao-truth)/truth > 0.25 {
+		t.Fatalf("Chao = %v, want ~%v", chao, truth)
+	}
+	// GEE trades accuracy here for its worst-case guarantee: it must stay
+	// within its √(N/n) ratio bound of the truth.
+	bound := math.Sqrt(float64(len(pop)) / float64(p.N))
+	if ratio := math.Max(gee/truth, truth/gee); ratio > bound {
+		t.Fatalf("GEE = %v: ratio error %v beyond guarantee %v", gee, ratio, bound)
+	}
+}
+
+func TestGEERatioGuarantee(t *testing.T) {
+	// Population of 100k mostly-distinct values (the paper's large-domain
+	// regime): a 2k sample sees almost only singletons. This is GEE's
+	// provable worst case — no sampling estimator can beat a √(N/n) ratio
+	// error here — so the test asserts the guarantee itself: the estimate
+	// stays within a √(N/n) factor of the truth (with slack for sampling
+	// noise), and lifts far above the naive sample-distinct count.
+	r := xrand.New(2)
+	pop := make([]float64, 100000)
+	seen := make(map[float64]bool)
+	for i := range pop {
+		pop[i] = math.Floor(r.Float64() * 1e9)
+		seen[pop[i]] = true
+	}
+	truth := float64(len(seen))
+	smp, err := sample.WithoutReplacement(r, pop, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Profile(smp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gee, err := p.GEE(len(pop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := math.Sqrt(float64(len(pop)) / float64(p.N))
+	if ratio := truth / gee; ratio > bound*1.1 {
+		t.Fatalf("GEE = %v: ratio error %v exceeds the √(N/n) guarantee %v", gee, ratio, bound)
+	}
+	if gee < 5*float64(p.D) {
+		t.Fatalf("GEE = %v did not extrapolate beyond the sample-distinct count %d", gee, p.D)
+	}
+}
+
+func TestGEEBounds(t *testing.T) {
+	p, err := Profile([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GEE(2); err == nil {
+		t.Fatal("table smaller than sample should error")
+	}
+	// Estimate clamps to the table size.
+	gee, err := p.GEE(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gee != 3 {
+		t.Fatalf("GEE = %v, want clamp at 3", gee)
+	}
+}
+
+func TestChaoNoDoubletons(t *testing.T) {
+	p, err := Profile([]float64{1, 2, 3}) // three singletons, no doubletons
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bias-corrected form: 3 + 3·2/2 = 6.
+	if got := p.Chao(); got != 6 {
+		t.Fatalf("Chao = %v, want 6", got)
+	}
+}
+
+func TestGoodmanSmallCase(t *testing.T) {
+	// Exhaustively checkable case: N=4 records {1,1,2,3} (3 distinct),
+	// n=2 samples. Goodman is unbiased: averaging the estimate over all
+	// C(4,2)=6 equally likely samples must give exactly 3.
+	records := []float64{1, 1, 2, 3}
+	sum := 0.0
+	count := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p, err := Profile([]float64{records[i], records[j]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := p.Goodman(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += g
+			count++
+		}
+	}
+	mean := sum / float64(count)
+	// The clamp to [D, N] breaks exact unbiasedness slightly; the mean
+	// must still sit close to the truth.
+	if math.Abs(mean-3) > 0.6 {
+		t.Fatalf("Goodman mean over all samples = %v, want ~3", mean)
+	}
+}
+
+func TestGoodmanValidation(t *testing.T) {
+	p, err := Profile([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Goodman(1); err == nil {
+		t.Fatal("table smaller than sample should error")
+	}
+}
+
+func TestEstimatorComparisonPrintout(t *testing.T) {
+	// Not an assertion-heavy test: exercises the three estimators side by
+	// side on a skewed population and checks ordering sanity (all between
+	// sample-distinct and table size).
+	r := xrand.New(3)
+	z := xrand.NewZipf(r, 1.3, 1, 49999)
+	pop := make([]float64, 200000)
+	for i := range pop {
+		pop[i] = float64(z.Uint64())
+	}
+	smp, err := sample.WithoutReplacement(r, pop, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Profile(smp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gee, _ := p.GEE(len(pop))
+	goodman, _ := p.Goodman(len(pop))
+	for name, v := range map[string]float64{"chao": p.Chao(), "gee": gee, "goodman": goodman} {
+		if v < float64(p.D) || v > float64(len(pop)) {
+			t.Fatalf("%s = %v outside [%d, %d]", name, v, p.D, len(pop))
+		}
+		_ = fmt.Sprintf("%s=%v", name, v)
+	}
+}

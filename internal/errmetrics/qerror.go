@@ -1,0 +1,56 @@
+package errmetrics
+
+import (
+	"math"
+	"sort"
+
+	"selest/internal/query"
+)
+
+// QError returns the q-error of one estimate against a truth:
+// max(est/true, true/est), the multiplicative error measure used in the
+// modern cardinality-estimation literature. Both sides are floored at
+// floor (in records) so empty results and zero estimates yield finite,
+// comparable values; floor <= 0 defaults to 1 record.
+func QError(estRecords, trueRecords, floor float64) float64 {
+	if floor <= 0 {
+		floor = 1
+	}
+	e := math.Max(estRecords, floor)
+	tr := math.Max(trueRecords, floor)
+	return math.Max(e/tr, tr/e)
+}
+
+// QErrorSummary aggregates q-errors over a workload.
+type QErrorSummary struct {
+	// Mean, Median, P90, P99 and Max summarise the per-query q-error
+	// distribution. A perfect estimator scores 1 everywhere.
+	Mean, Median, P90, P99, Max float64
+}
+
+// QErrors evaluates the estimator on every query of the workload and
+// returns the summary. An empty workload yields a zero summary.
+func QErrors(e Estimator, w *query.Workload) QErrorSummary {
+	if len(w.Queries) == 0 {
+		return QErrorSummary{}
+	}
+	qs := make([]float64, len(w.Queries))
+	sum := 0.0
+	for i, q := range w.Queries {
+		est := e.Selectivity(q.A, q.B) * float64(w.N)
+		qs[i] = QError(est, float64(w.TrueCounts[i]), 1)
+		sum += qs[i]
+	}
+	sort.Float64s(qs)
+	pick := func(p float64) float64 {
+		i := int(p * float64(len(qs)-1))
+		return qs[i]
+	}
+	return QErrorSummary{
+		Mean:   sum / float64(len(qs)),
+		Median: pick(0.5),
+		P90:    pick(0.9),
+		P99:    pick(0.99),
+		Max:    qs[len(qs)-1],
+	}
+}

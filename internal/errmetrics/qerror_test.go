@@ -1,0 +1,81 @@
+package errmetrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selest/internal/query"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, truth, floor, want float64 }{
+		{100, 100, 1, 1}, // perfect
+		{200, 100, 1, 2}, // 2× over
+		{50, 100, 1, 2},  // 2× under — symmetric
+		{0, 100, 1, 100}, // zero estimate floored to 1
+		{100, 0, 1, 100}, // empty truth floored to 1
+		{0, 0, 1, 1},     // both empty: perfect
+		{10, 100, 20, 5}, // floor raises the estimate side
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth, c.floor); !almostEq(got, c.want) {
+			t.Errorf("QError(%v, %v, %v) = %v, want %v", c.est, c.truth, c.floor, got, c.want)
+		}
+	}
+	if got := QError(50, 100, 0); got != 2 {
+		t.Errorf("default floor: %v", got)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestQErrorsSummary(t *testing.T) {
+	w := &query.Workload{
+		Queries:    []query.Query{{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4}},
+		TrueCounts: []int{100, 100, 100, 100},
+		N:          1000,
+	}
+	// Constant σ̂ = 0.1 → est 100 → q-error exactly 1 everywhere.
+	s := QErrors(constEstimator(0.1), w)
+	if s.Mean != 1 || s.Median != 1 || s.P90 != 1 || s.P99 != 1 || s.Max != 1 {
+		t.Fatalf("perfect estimator summary = %+v", s)
+	}
+	// Constant σ̂ = 0.2 → est 200 → q-error 2 everywhere.
+	s = QErrors(constEstimator(0.2), w)
+	if s.Mean != 2 || s.Max != 2 {
+		t.Fatalf("2× estimator summary = %+v", s)
+	}
+}
+
+func TestQErrorsEmptyWorkload(t *testing.T) {
+	s := QErrors(constEstimator(0.1), &query.Workload{N: 10})
+	if s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty workload summary = %+v", s)
+	}
+}
+
+func TestQErrorsOrdering(t *testing.T) {
+	w := &query.Workload{
+		Queries:    []query.Query{{A: 0, B: 1}, {A: 1, B: 2}},
+		TrueCounts: []int{100, 400},
+		N:          1000,
+	}
+	s := QErrors(constEstimator(0.2), w) // est 200: q-errors 2 and 2
+	if s.Median > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+}
+
+// Property: q-error is symmetric in est/true and always >= 1.
+func TestQuickQErrorInvariants(t *testing.T) {
+	prop := func(rawA, rawB uint16) bool {
+		a := float64(rawA) + 1
+		b := float64(rawB) + 1
+		qe := QError(a, b, 1)
+		return qe >= 1 && almostEq(qe, QError(b, a, 1))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation (§5). Each driver regenerates the corresponding data
+// series from scratch — data files, sample sets, query workloads,
+// estimators — and returns a structured Report that renders as text.
+// DESIGN.md §3 maps every driver to the figure it reproduces and states
+// the shape that must hold.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"selest/internal/dataset"
+	"selest/internal/query"
+	"selest/internal/sample"
+	"selest/internal/xrand"
+)
+
+// Config parameterises an experiment environment.
+type Config struct {
+	// Seed drives every random choice; the default reproduces the
+	// committed EXPERIMENTS.md numbers.
+	Seed uint64
+	// SampleSize is the estimator sample-set size (paper: 2,000).
+	SampleSize int
+	// QueryCount is the number of queries per workload (paper: 1,000).
+	QueryCount int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = dataset.DefaultSeed
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 2000
+	}
+	if c.QueryCount == 0 {
+		c.QueryCount = 1000
+	}
+}
+
+// Env caches data files, sample sets and query workloads across drivers so
+// a full run generates each file once. Env is safe for concurrent use.
+type Env struct {
+	cfg Config
+
+	mu        sync.Mutex
+	files     map[string]*dataset.File
+	samples   map[sampleKey][]float64
+	workloads map[workloadKey]*query.Workload
+}
+
+type sampleKey struct {
+	file string
+	n    int
+}
+
+type workloadKey struct {
+	file string
+	size float64
+}
+
+// NewEnv returns an environment with the given configuration.
+func NewEnv(cfg Config) *Env {
+	cfg.applyDefaults()
+	return &Env{
+		cfg:       cfg,
+		files:     make(map[string]*dataset.File),
+		samples:   make(map[sampleKey][]float64),
+		workloads: make(map[workloadKey]*query.Workload),
+	}
+}
+
+// Config returns the environment configuration (defaults applied).
+func (e *Env) Config() Config { return e.cfg }
+
+// File returns the named catalog data file, generating it on first use.
+func (e *Env) File(name string) (*dataset.File, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.files[name]; ok {
+		return f, nil
+	}
+	f, err := dataset.ByName(name, e.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e.files[name] = f
+	return f, nil
+}
+
+// Sample returns a deterministic size-n random sample (without
+// replacement) of the named file.
+func (e *Env) Sample(name string, n int) ([]float64, error) {
+	f, err := e.File(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := sampleKey{file: name, n: n}
+	if s, ok := e.samples[key]; ok {
+		return s, nil
+	}
+	r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(n)*0x9e3779b97f4a7c15)
+	s, err := sample.WithoutReplacement(r, f.Records, n)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sampling %s: %w", name, err)
+	}
+	e.samples[key] = s
+	return s, nil
+}
+
+// DefaultSample returns the configured-size sample of the named file.
+func (e *Env) DefaultSample(name string) ([]float64, error) {
+	return e.Sample(name, e.cfg.SampleSize)
+}
+
+// Workload returns the deterministic query workload of the given size
+// fraction for the named file, with exact ground truth.
+func (e *Env) Workload(name string, size float64) (*query.Workload, error) {
+	f, err := e.File(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := workloadKey{file: name, size: size}
+	if w, ok := e.workloads[key]; ok {
+		return w, nil
+	}
+	lo, hi := f.Domain()
+	r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(size*1e6))
+	// Catalog files live on integer domains, so queries are
+	// integer-aligned exactly as the paper's query files are.
+	w, err := query.GenerateAligned(f.Records, lo, hi, size, e.cfg.QueryCount, r, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload %s/%v: %w", name, size, err)
+	}
+	e.workloads[key] = w
+	return w, nil
+}
+
+// hashName is a tiny FNV-1a over the file name, decorrelating per-file
+// RNG streams.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// PromisingFiles is the file set of the per-file comparison figures
+// (8, 9, 11, 12): all synthetic large-domain files plus the real-data
+// stand-ins, matching the files the paper reports.
+func PromisingFiles() []string {
+	return []string{"u(20)", "n(20)", "e(20)", "arap1", "arap2", "rr1(22)", "rr2(22)", "iw"}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/core"
+	"selest/internal/errmetrics"
+	"selest/internal/kde"
+)
+
+// ExtAll runs every estimation method the library implements — the
+// paper's comparison set plus every extension estimator — over the
+// promising-files set with 1% queries, reporting MRE and the median
+// q-error. It is the "one table to rule them all" a practitioner would
+// consult before picking an estimator, and it exercises every method of
+// the public API in one sweep.
+func ExtAll(env *Env) (*Report, error) {
+	methods := core.Methods()
+	cols := make([]string, 0, len(methods))
+	for _, m := range methods {
+		cols = append(cols, string(m))
+	}
+	rep := &Report{
+		ID:    "ext-all",
+		Title: "every estimator × every file (MRE, 1% queries)",
+		Table: &Table{Columns: cols},
+	}
+
+	type cell struct {
+		mre    float64
+		qerr   float64
+		method core.Method
+	}
+	var bestPerFile []cell
+
+	for _, file := range PromisingFiles() {
+		f, err := env.File(file)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := f.Domain()
+		samples, err := env.DefaultSample(file)
+		if err != nil {
+			return nil, err
+		}
+		w, err := env.Workload(file, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		row := TableRow{Label: file}
+		best := cell{mre: math.Inf(1)}
+		for _, m := range methods {
+			opts := core.Options{Method: m, DomainLo: lo, DomainHi: hi}
+			// Give kernel-family methods the configuration fig12 uses.
+			switch m {
+			case core.Kernel:
+				opts.Boundary = kde.BoundaryKernels
+				opts.Rule = core.DPI
+			case core.VariableKernel:
+				opts.Boundary = kde.BoundaryReflect
+				opts.Rule = core.DPI
+			}
+			est, err := core.Build(samples, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ext-all: %s on %s: %w", m, file, err)
+			}
+			mre, _ := errmetrics.MRE(est, w)
+			row.Values = append(row.Values, mre)
+			if mre < best.mre {
+				qe := errmetrics.QErrors(est, w)
+				best = cell{mre: mre, qerr: qe.Median, method: m}
+			}
+		}
+		rep.Table.Rows = append(rep.Table.Rows, row)
+		bestPerFile = append(bestPerFile, best)
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%-8s winner: %s (MRE %.3f, median q-error %.2f)", file, best.method, best.mre, best.qerr))
+	}
+	return rep, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtRatesMatchTheory(t *testing.T) {
+	rep, err := ExtRates(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSlope := logLogSlope(rep.Series[0])
+	hSlope := logLogSlope(rep.Series[1])
+	// Theory: kernel O(n^{-4/5}), equi-width O(n^{-2/3}). Empirical slopes
+	// carry sampling noise; a ±0.12 band is tight enough to distinguish
+	// the two rates from each other and from pure sampling's O(n^{-1}).
+	if math.Abs(kSlope-(-0.8)) > 0.12 {
+		t.Fatalf("kernel MISE slope %v, theory -0.8", kSlope)
+	}
+	if math.Abs(hSlope-(-2.0/3.0)) > 0.12 {
+		t.Fatalf("equi-width MISE slope %v, theory -0.667", hSlope)
+	}
+	// The kernel estimator converges strictly faster.
+	if kSlope >= hSlope {
+		t.Fatalf("kernel slope %v not steeper than histogram slope %v", kSlope, hSlope)
+	}
+	// MISE falls strongly over the sampled range (per-step monotonicity is
+	// too strict at 6 trials per point; the 64× range must show at least a
+	// 4× drop even for the slower histogram rate).
+	for _, s := range rep.Series {
+		if s.Y[len(s.Y)-1] >= s.Y[0]/4 {
+			t.Fatalf("%s: MISE barely fell: %v → %v", s.Name, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestExtFeedbackImprovesHeldOut(t *testing.T) {
+	rep, err := ExtFeedback(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Table.Rows[0]
+	base, adaptive := r.Values[0], r.Values[1]
+	if adaptive >= base*0.7 {
+		t.Fatalf("feedback gained too little: base %v, adaptive %v", base, adaptive)
+	}
+}
+
+func TestExt2DBeatsIndependence(t *testing.T) {
+	rep, err := Ext2D(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Table.Rows[0]
+	joint, grid, indep := r.Values[0], r.Values[1], r.Values[2]
+	if joint*1.5 >= indep {
+		t.Fatalf("2-D kernel (%v) should clearly beat independence (%v) on correlated data", joint, indep)
+	}
+	if grid*1.5 >= indep {
+		t.Fatalf("2-D grid (%v) should clearly beat independence (%v) on correlated data", grid, indep)
+	}
+}
+
+func TestExtSketchTracksExact(t *testing.T) {
+	rep, err := ExtSketch(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Table.Rows {
+		sampled, exact, sk, tuples := r.Values[0], r.Values[1], r.Values[2], r.Values[3]
+		// The sketch must track the exact full-data histogram closely...
+		if math.Abs(sk-exact) > 0.05+0.15*exact {
+			t.Fatalf("%s: sketch MRE %v far from exact MRE %v", r.Label, sk, exact)
+		}
+		// ...with far fewer tuples than records.
+		if tuples > 5000 {
+			t.Fatalf("%s: sketch holds %v tuples", r.Label, tuples)
+		}
+		_ = sampled
+	}
+}
+
+func TestExtJoinAccuracy(t *testing.T) {
+	rep, err := ExtJoin(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Table.Rows {
+		relErr := r.Values[2]
+		if relErr > 0.10 {
+			t.Fatalf("%s: kernel join estimate off by %v", r.Label, relErr)
+		}
+	}
+}
+
+func TestExtAllCoversEveryMethod(t *testing.T) {
+	rep, err := ExtAll(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table.Columns) != 13 {
+		t.Fatalf("ext-all covers %d methods", len(rep.Table.Columns))
+	}
+	if len(rep.Table.Rows) != len(PromisingFiles()) {
+		t.Fatalf("ext-all covers %d files", len(rep.Table.Rows))
+	}
+	// Every cell is a finite MRE (no estimator silently broke on any file).
+	for _, r := range rep.Table.Rows {
+		for i, v := range r.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s/%s: MRE %v", r.Label, rep.Table.Columns[i], v)
+			}
+		}
+	}
+	// One winner note per file, each reporting a sane median q-error.
+	if len(rep.Notes) != len(rep.Table.Rows) {
+		t.Fatalf("%d notes for %d rows", len(rep.Notes), len(rep.Table.Rows))
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 7·x^{-0.5} exactly.
+	s := Series{}
+	for _, x := range []float64{10, 100, 1000} {
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, 7*math.Pow(x, -0.5))
+	}
+	if got := logLogSlope(s); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Fatalf("slope = %v, want -0.5", got)
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/bandwidth"
+	"selest/internal/core"
+	"selest/internal/errmetrics"
+	"selest/internal/histogram"
+	"selest/internal/kde"
+	"selest/internal/kernel"
+	"selest/internal/query"
+	"selest/internal/sample"
+	"selest/internal/stats"
+)
+
+// Table2 reproduces the data-file inventory (paper Table 2): name,
+// distribution, domain parameter p and record count, plus summary
+// statistics our generators produce.
+func Table2(env *Env) (*Report, error) {
+	rep := &Report{
+		ID:    "table2",
+		Title: "properties of the data files",
+		Table: &Table{Columns: []string{"p", "#records", "distinct", "mean", "std"}},
+	}
+	for _, name := range datasetNames() {
+		f, err := env.File(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Summarize(f.Records)
+		rep.Table.Rows = append(rep.Table.Rows, TableRow{
+			Label: name,
+			Values: []float64{
+				float64(f.P), float64(f.Len()), float64(s.DistinctValues), s.Mean, s.Std,
+			},
+		})
+	}
+	return rep, nil
+}
+
+// datasetNames returns the catalog names in Table 2 order; a tiny wrapper
+// so the experiments package has one authoritative call site.
+func datasetNames() []string {
+	return []string{
+		"u(15)", "u(20)", "n(10)", "n(15)", "n(20)", "e(15)", "e(20)",
+		"arap1", "arap2", "rr1(12)", "rr1(22)", "rr2(12)", "rr2(22)", "iw",
+	}
+}
+
+// Fig3 reproduces figure 3: the signed absolute error of 1% range queries
+// as a function of the query position on uniform data, for a kernel
+// estimator without boundary treatment. Expected shape: error spikes
+// (underestimation) at both boundaries, near-zero error in the centre.
+func Fig3(env *Env) (*Report, error) {
+	const file = "u(20)"
+	f, err := env.File(file)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := env.DefaultSample(file)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := f.Domain()
+	h, err := bandwidth.NormalScaleBandwidth(samples, kernel.Epanechnikov{})
+	if err != nil {
+		return nil, err
+	}
+	est, err := kde.New(samples, kde.Config{Bandwidth: h, Boundary: kde.BoundaryNone, DomainLo: lo, DomainHi: hi})
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := query.PositionSweep(f.Records, lo, hi, 0.01, 200)
+	if err != nil {
+		return nil, err
+	}
+	points := errmetrics.ByPosition(est, sweep)
+	s := Series{Name: "signed error (records), kernel w/o boundary treatment"}
+	for _, p := range points {
+		s.X = append(s.X, p.Pos/(hi-lo)) // normalised position
+		s.Y = append(s.Y, p.Signed)
+	}
+	rep := &Report{ID: "fig3", Title: "absolute estimation error of 1% queries vs. position (uniform data)", Series: []Series{s}}
+
+	// Shape note: boundary error vs. centre error.
+	edge := math.Max(math.Abs(s.Y[0]), math.Abs(s.Y[len(s.Y)-1]))
+	centre := 0.0
+	for i := len(s.Y) * 2 / 5; i < len(s.Y)*3/5; i++ {
+		centre += math.Abs(s.Y[i])
+	}
+	centre /= float64(len(s.Y) / 5)
+	rep.Notes = append(rep.Notes, fmt.Sprintf("max boundary |error| = %.0f records; mean centre |error| = %.0f records (paper: up to ~500 at the boundary of a 1000-record query)", edge, centre))
+	return rep, nil
+}
+
+// binGrid is the log-spaced bin-count grid of the bins-curve figures.
+func binGrid() []int {
+	return []int{2, 3, 5, 8, 12, 18, 27, 40, 60, 90, 135, 200, 300, 450, 675, 1000, 1500}
+}
+
+// ewhMRECurve computes the MRE of equi-width histograms over the bin grid
+// for one data file and query size.
+func ewhMRECurve(env *Env, file string, size float64) (Series, error) {
+	f, err := env.File(file)
+	if err != nil {
+		return Series{}, err
+	}
+	samples, err := env.DefaultSample(file)
+	if err != nil {
+		return Series{}, err
+	}
+	w, err := env.Workload(file, size)
+	if err != nil {
+		return Series{}, err
+	}
+	lo, hi := f.Domain()
+	s := Series{Name: "equi-width " + file}
+	for _, k := range binGrid() {
+		h, err := histogram.BuildEquiWidth(samples, k, lo, hi)
+		if err != nil {
+			return Series{}, err
+		}
+		mre, _ := errmetrics.MRE(h, w)
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, mre)
+	}
+	return s, nil
+}
+
+// Fig4 reproduces figure 4: the MRE of 1% queries on n(20) as a function
+// of the equi-width histogram's bin count, against the flat pure-sampling
+// error. Expected shape: U-curve whose minimum undercuts the sampling
+// line; too few bins is worse than sampling.
+func Fig4(env *Env) (*Report, error) {
+	const file = "n(20)"
+	curve, err := ewhMRECurve(env, file, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := env.DefaultSample(file)
+	if err != nil {
+		return nil, err
+	}
+	w, err := env.Workload(file, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	sampMRE, _ := errmetrics.MRE(sample.NewPureEstimator(samples), w)
+	flat := Series{Name: "pure sampling"}
+	for _, x := range curve.X {
+		flat.X = append(flat.X, x)
+		flat.Y = append(flat.Y, sampMRE)
+	}
+	rep := &Report{ID: "fig4", Title: "MRE vs. number of bins, n(20), 1% queries", Series: []Series{curve, flat}}
+	bx, by := curve.minY()
+	rep.Notes = append(rep.Notes, fmt.Sprintf("EWH minimum: MRE %.3f at %d bins; sampling MRE %.3f (paper: 7%% at 20 bins vs. 17.5%% sampling)", by, int(bx), sampMRE))
+	return rep, nil
+}
+
+// Fig5 reproduces figure 5: the bins curve across domain cardinalities
+// n(10), n(15), n(20). Expected shape: larger domains (fewer duplicates
+// per value) show higher error at every bin count.
+func Fig5(env *Env) (*Report, error) {
+	rep := &Report{ID: "fig5", Title: "MRE vs. number of bins across domain cardinalities"}
+	var curveMeans []float64
+	for _, file := range []string{"n(10)", "n(15)", "n(20)"} {
+		curve, err := ewhMRECurve(env, file, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		rep.Series = append(rep.Series, curve)
+		mean := 0.0
+		for _, y := range curve.Y {
+			mean += y
+		}
+		curveMeans = append(curveMeans, mean/float64(len(curve.Y)))
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"curve-average MRE by cardinality: n(10)=%.4f n(15)=%.4f n(20)=%.4f (paper: the error curve sits considerably higher for large domain cardinalities — small domains' heavy duplicates keep query result sizes, and so relative errors, bounded)",
+		curveMeans[0], curveMeans[1], curveMeans[2]))
+	return rep, nil
+}
+
+// Fig6 reproduces figure 6: MRE(n(20), 1%) as a function of the sample
+// size for pure sampling, equi-width histograms (normal scale bins) and
+// kernel estimators (normal scale bandwidth, boundary kernels). Expected
+// shape: all three fall with n; kernel < histogram < sampling.
+func Fig6(env *Env) (*Report, error) {
+	const file = "n(20)"
+	f, err := env.File(file)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := f.Domain()
+	w, err := env.Workload(file, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{200, 500, 1000, 2000, 5000, 10000}
+	sampling := Series{Name: "sampling"}
+	ewh := Series{Name: "equi-width (h-NS)"}
+	kern := Series{Name: "kernel (h-NS, boundary kernels)"}
+	for _, n := range sizes {
+		samples, err := env.Sample(file, n)
+		if err != nil {
+			return nil, err
+		}
+		mreS, _ := errmetrics.MRE(sample.NewPureEstimator(samples), w)
+		sampling.X = append(sampling.X, float64(n))
+		sampling.Y = append(sampling.Y, mreS)
+
+		he, err := core.Build(samples, core.Options{Method: core.EquiWidth, DomainLo: lo, DomainHi: hi})
+		if err != nil {
+			return nil, err
+		}
+		mreH, _ := errmetrics.MRE(he, w)
+		ewh.X = append(ewh.X, float64(n))
+		ewh.Y = append(ewh.Y, mreH)
+
+		ke, err := core.Build(samples, core.Options{Method: core.Kernel, Boundary: kde.BoundaryKernels, DomainLo: lo, DomainHi: hi})
+		if err != nil {
+			return nil, err
+		}
+		mreK, _ := errmetrics.MRE(ke, w)
+		kern.X = append(kern.X, float64(n))
+		kern.Y = append(kern.Y, mreK)
+	}
+	rep := &Report{ID: "fig6", Title: "MRE(n(20), 1%) vs. sample size", Series: []Series{sampling, ewh, kern}}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"at n=200: sampling %.3f, EWH %.3f, kernel %.3f; at n=10000: sampling %.3f, EWH %.3f, kernel %.3f (paper: EWH ~12%%@200 → ~4%%@10000, kernel < EWH < sampling)",
+		sampling.Y[0], ewh.Y[0], kern.Y[0],
+		sampling.Y[len(sampling.Y)-1], ewh.Y[len(ewh.Y)-1], kern.Y[len(kern.Y)-1]))
+	return rep, nil
+}
+
+// Fig7 reproduces figure 7: the MRE of equi-width histograms (normal scale
+// rule) across the four query sizes for several data files. Expected
+// shape: error falls as the query grows.
+func Fig7(env *Env) (*Report, error) {
+	files := []string{"u(20)", "n(20)", "e(20)", "arap1", "arap2", "iw"}
+	rep := &Report{
+		ID:    "fig7",
+		Title: "MRE of equi-width histograms for different query sizes",
+		Table: &Table{Columns: []string{"1%", "2%", "5%", "10%"}},
+	}
+	for _, file := range files {
+		f, err := env.File(file)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := f.Domain()
+		samples, err := env.DefaultSample(file)
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.Build(samples, core.Options{Method: core.EquiWidth, DomainLo: lo, DomainHi: hi})
+		if err != nil {
+			return nil, err
+		}
+		row := TableRow{Label: file}
+		for _, size := range query.StandardSizes {
+			w, err := env.Workload(file, size)
+			if err != nil {
+				return nil, err
+			}
+			mre, _ := errmetrics.MRE(est, w)
+			row.Values = append(row.Values, mre)
+		}
+		rep.Table.Rows = append(rep.Table.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper: error decreases with query size; e.g. arap2 17.5% at 1% queries vs. 4.5% at 10% queries")
+	return rep, nil
+}

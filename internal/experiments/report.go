@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"selest/internal/plot"
+)
+
+// Series is one named curve: parallel X/Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is a labelled grid: one row per label, one value per column.
+type Table struct {
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one table row.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// Report is the structured result of one experiment driver.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md ("fig3", "table2"...).
+	ID string
+	// Title describes what the paper's figure shows.
+	Title string
+	// Series holds curve data (error-vs-parameter figures).
+	Series []Series
+	// Table holds grid data (per-file bar-chart figures).
+	Table *Table
+	// Notes records shape findings ("boundary error 23× centre error").
+	Notes []string
+}
+
+// Render writes the report as aligned text: an ASCII chart for curve
+// figures, the table for per-file figures, and the shape notes. Use
+// RenderRaw to additionally list every series point.
+func (r *Report) Render(w io.Writer) {
+	r.render(w, false)
+}
+
+// RenderRaw is Render plus the full point listing of every series — the
+// exact rows a plotting tool would consume.
+func (r *Report) RenderRaw(w io.Writer) {
+	r.render(w, true)
+}
+
+func (r *Report) render(w io.Writer, raw bool) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) > 0 {
+		ps := make([]plot.Series, len(r.Series))
+		for i, s := range r.Series {
+			ps[i] = plot.Series{Name: s.Name, X: s.X, Y: s.Y}
+		}
+		// Bin-count and sample-size sweeps read best on a log x axis;
+		// position sweeps are linear. Heuristic: log when x spans more
+		// than a decade and is positive.
+		logX := false
+		if n := len(r.Series[0].X); n > 1 {
+			first, last := r.Series[0].X[0], r.Series[0].X[n-1]
+			logX = first > 0 && last/first > 10
+		}
+		fmt.Fprintln(w)
+		io.WriteString(w, plot.Render(ps, plot.Config{LogX: logX}))
+	}
+	if raw {
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "\n-- series: %s --\n", s.Name)
+			for i := range s.X {
+				fmt.Fprintf(w, "  %14.4f  %14.6f\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	if r.Table != nil {
+		fmt.Fprintf(w, "\n%-10s", "file")
+		for _, c := range r.Table.Columns {
+			fmt.Fprintf(w, "  %14s", c)
+		}
+		fmt.Fprintln(w)
+		for _, row := range r.Table.Rows {
+			fmt.Fprintf(w, "%-10s", row.Label)
+			for _, v := range row.Values {
+				if math.IsNaN(v) {
+					fmt.Fprintf(w, "  %14s", "n/a")
+				} else {
+					fmt.Fprintf(w, "  %14.4f", v)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderString renders the report to a string.
+func (r *Report) RenderString() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// minY returns the (x, y) of the smallest y in the series.
+func (s Series) minY() (float64, float64) {
+	if len(s.Y) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	bi := 0
+	for i, y := range s.Y {
+		if y < s.Y[bi] {
+			bi = i
+		}
+	}
+	return s.X[bi], s.Y[bi]
+}
+
+// Driver runs one experiment against an environment.
+type Driver struct {
+	ID    string
+	Title string
+	Run   func(*Env) (*Report, error)
+}
+
+// AllDrivers lists every experiment in paper order.
+func AllDrivers() []Driver {
+	return []Driver{
+		{"table2", "data file inventory", Table2},
+		{"fig3", "absolute error of 1% queries vs. position (uniform data, untreated kernel)", Fig3},
+		{"fig4", "MRE vs. number of bins (equi-width vs. sampling, n(20))", Fig4},
+		{"fig5", "MRE vs. number of bins across domain cardinalities (n(10)/n(15)/n(20))", Fig5},
+		{"fig6", "MRE(n(20),1%) vs. sample size (sampling / equi-width / kernel)", Fig6},
+		{"fig7", "MRE of equi-width histograms across query sizes", Fig7},
+		{"fig8", "histogram estimators vs. sampling and uniform (optimal bins, 1% queries)", Fig8},
+		{"fig9", "equi-width histograms: observed-optimal vs. normal scale bin counts", Fig9},
+		{"fig10", "relative error of 1% queries vs. position for boundary treatments", Fig10},
+		{"fig11", "kernel bandwidth rules: h-opt vs. h-NS vs. h-DPI2", Fig11},
+		{"fig12", "most promising estimators (EWH / kernel / hybrid / ASH, 1% queries)", Fig12},
+		{"ext-rates", "extension: empirical MISE convergence rates vs. theory", ExtRates},
+		{"ext-feedback", "extension: adaptive estimation from query feedback", ExtFeedback},
+		{"ext-2d", "extension: 2-D product-kernel vs. attribute independence", Ext2D},
+		{"ext-sketch", "extension: sampled vs. sketch-maintained equi-depth histograms", ExtSketch},
+		{"ext-join", "extension: join result-size estimation from kernel densities", ExtJoin},
+		{"ext-all", "extension: every estimator × every file, MRE + q-error", ExtAll},
+	}
+}
+
+// DriverByID returns the driver with the given ID.
+func DriverByID(id string) (Driver, bool) {
+	for _, d := range AllDrivers() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Driver{}, false
+}
+
+// IDs lists the experiment IDs in order.
+func IDs() []string {
+	ds := AllDrivers()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.ID
+	}
+	return out
+}

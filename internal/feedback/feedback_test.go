@@ -1,0 +1,301 @@
+package feedback
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/core"
+	"selest/internal/errmetrics"
+	"selest/internal/query"
+	"selest/internal/xrand"
+)
+
+// biasedEstimator always returns factor × truth for a known uniform truth
+// over [0, 1000].
+type biasedEstimator struct{ factor float64 }
+
+func (e biasedEstimator) Selectivity(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	a = math.Max(a, 0)
+	b = math.Min(b, 1000)
+	if b < a {
+		return 0
+	}
+	return e.factor * (b - a) / 1000
+}
+func (e biasedEstimator) Name() string { return "biased" }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0, 1, Config{}); err == nil {
+		t.Fatal("nil base should error")
+	}
+	if _, err := New(biasedEstimator{1}, 5, 5, Config{}); err == nil {
+		t.Fatal("empty domain should error")
+	}
+	if _, err := New(biasedEstimator{1}, 0, 1, Config{LearningRate: 2}); err == nil {
+		t.Fatal("learning rate > 1 should error")
+	}
+	if _, err := New(biasedEstimator{1}, 0, 1, Config{MaxCorrection: 0.5}); err == nil {
+		t.Fatal("max correction < 1 should error")
+	}
+}
+
+func TestNoFeedbackPassesThrough(t *testing.T) {
+	base := biasedEstimator{0.5}
+	ad, err := New(base, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]float64{{0, 100}, {400, 600}, {900, 1000}} {
+		if got, want := ad.Selectivity(q[0], q[1]), base.Selectivity(q[0], q[1]); got != want {
+			t.Fatalf("untrained wrapper changed the estimate: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestFeedbackCorrectsSystematicBias(t *testing.T) {
+	// Base underestimates by 2×; truth of [a,b] is (b−a)/1000.
+	ad, err := New(biasedEstimator{0.5}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < 500; i++ {
+		a := r.Float64() * 900
+		b := a + 20 + r.Float64()*80
+		ad.Observe(a, b, (math.Min(b, 1000)-a)/1000)
+	}
+	if ad.Observed() != 500 {
+		t.Fatalf("Observed = %d", ad.Observed())
+	}
+	// After feedback, estimates must be close to truth.
+	for _, q := range [][2]float64{{100, 200}, {450, 520}, {800, 880}} {
+		truth := (q[1] - q[0]) / 1000
+		got := ad.Selectivity(q[0], q[1])
+		if math.Abs(got-truth)/truth > 0.1 {
+			t.Fatalf("Q(%v,%v): corrected estimate %v, truth %v", q[0], q[1], got, truth)
+		}
+	}
+}
+
+func TestFeedbackIsLocal(t *testing.T) {
+	// Feedback only on [0, 200] must not disturb estimates far away.
+	ad, err := New(biasedEstimator{0.25}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ad.Observe(0, 200, 0.2)
+	}
+	near := ad.Selectivity(50, 150)
+	far := ad.Selectivity(700, 800)
+	base := biasedEstimator{0.25}
+	if math.Abs(far-base.Selectivity(700, 800)) > 1e-12 {
+		t.Fatalf("feedback leaked to distant region: %v vs %v", far, base.Selectivity(700, 800))
+	}
+	if near <= base.Selectivity(50, 150) {
+		t.Fatal("feedback did not lift the corrected region")
+	}
+}
+
+func TestCorrectionBounded(t *testing.T) {
+	ad, err := New(biasedEstimator{1}, 0, 1000, Config{MaxCorrection: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absurd feedback claiming 1000× the base: correction must clamp at 4.
+	for i := 0; i < 100; i++ {
+		ad.Observe(100, 200, math.Min(1, biasedEstimator{1}.Selectivity(100, 200)*1000))
+	}
+	got := ad.Selectivity(100, 200)
+	want := biasedEstimator{1}.Selectivity(100, 200) * 4
+	if got > math.Min(want, 1)+1e-9 {
+		t.Fatalf("correction exceeded bound: %v > %v", got, want)
+	}
+}
+
+func TestIgnoresUnlearnableFeedback(t *testing.T) {
+	ad, err := New(biasedEstimator{1}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.Observe(100, 200, 0)          // zero truth
+	ad.Observe(200, 100, 0.5)        // inverted
+	ad.Observe(100, 200, math.NaN()) // NaN
+	ad.Observe(2000, 3000, 0.5)      // outside domain
+	if ad.Observed() != 0 {
+		t.Fatalf("unlearnable feedback was absorbed: %d", ad.Observed())
+	}
+}
+
+func TestReset(t *testing.T) {
+	ad, err := New(biasedEstimator{0.5}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ad.Observe(0, 1000, 1)
+	}
+	ad.Reset()
+	if ad.Observed() != 0 {
+		t.Fatal("Reset did not clear the count")
+	}
+	base := biasedEstimator{0.5}
+	if got, want := ad.Selectivity(100, 300), base.Selectivity(100, 300); got != want {
+		t.Fatalf("Reset did not clear corrections: %v vs %v", got, want)
+	}
+}
+
+func TestName(t *testing.T) {
+	ad, err := New(biasedEstimator{1}, 0, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Name() != "adaptive(biased)" {
+		t.Fatalf("Name = %q", ad.Name())
+	}
+}
+
+func TestConcurrentObserveAndEstimate(t *testing.T) {
+	ad, err := New(biasedEstimator{0.5}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 2000; i++ {
+				a := r.Float64() * 900
+				ad.Observe(a, a+50, 0.05)
+			}
+		}(uint64(g))
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed + 100)
+			for i := 0; i < 2000; i++ {
+				a := r.Float64() * 900
+				if s := ad.Selectivity(a, a+50); s < 0 || s > 1 {
+					panic("selectivity out of range")
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}
+
+// TestFeedbackImprovesKernelOnClusteredData replays the paper's scenario:
+// a normal-scale kernel estimator on clumpy data has high MRE; feeding
+// back executed-query truths must cut it substantially.
+func TestFeedbackImprovesKernelOnClusteredData(t *testing.T) {
+	r := xrand.New(9)
+	// Clumpy data: three tight clusters.
+	records := make([]float64, 30000)
+	centres := []float64{150, 500, 860}
+	for i := range records {
+		c := centres[r.Intn(3)]
+		records[i] = math.Max(0, math.Min(1000, r.NormalMeanStd(c, 12)))
+	}
+	samples := records[:2000]
+	base, err := core.Build(samples, core.Options{
+		Method: core.Kernel, DomainLo: 0, DomainHi: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.Generate(records, 0, 1000, 0.02, 400, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := errmetrics.MRE(base, w)
+
+	ad, err := New(base, 0, 1000, Config{Buckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on the first half of the workload, evaluate on the second.
+	half := len(w.Queries) / 2
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < half; i++ {
+			ad.Observe(w.Queries[i].A, w.Queries[i].B, w.TrueSelectivity(i))
+		}
+	}
+	eval := &query.Workload{
+		Queries:    w.Queries[half:],
+		TrueCounts: w.TrueCounts[half:],
+		SizeFrac:   w.SizeFrac,
+		N:          w.N,
+	}
+	afterBase, _ := errmetrics.MRE(base, eval)
+	afterAdaptive, _ := errmetrics.MRE(ad, eval)
+	if afterAdaptive >= afterBase*0.7 {
+		t.Fatalf("feedback did not improve held-out MRE: base %v, adaptive %v (training MRE before: %v)",
+			afterBase, afterAdaptive, before)
+	}
+}
+
+func TestSelectivityEdges(t *testing.T) {
+	ad, err := New(biasedEstimator{0.5}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Selectivity(5, 2) != 0 {
+		t.Fatal("inverted query should be 0")
+	}
+	if ad.Selectivity(2000, 3000) != 0 {
+		t.Fatal("out-of-domain query should be 0")
+	}
+	// Query clipped to the domain behaves like the clipped query.
+	if got, want := ad.Selectivity(-100, 1100), ad.Selectivity(0, 1000); got != want {
+		t.Fatalf("clipping broken: %v vs %v", got, want)
+	}
+	// Point query still reads a bucket (degenerate overlap path).
+	if got := ad.Selectivity(500, 500); got != 0 {
+		t.Fatalf("point query on width-based base = %v, want 0", got)
+	}
+}
+
+func TestObserveAtDomainEdges(t *testing.T) {
+	ad, err := New(biasedEstimator{0.5}, 0, 1000, Config{Buckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feedback on ranges touching both edges must hit the first and last
+	// buckets without index overflow.
+	for i := 0; i < 50; i++ {
+		ad.Observe(0, 125, 0.125)
+		ad.Observe(875, 1000, 0.125)
+	}
+	if got := ad.Selectivity(0, 125); math.Abs(got-0.125) > 0.02 {
+		t.Fatalf("left-edge corrected σ̂ = %v", got)
+	}
+	if got := ad.Selectivity(875, 1000); math.Abs(got-0.125) > 0.02 {
+		t.Fatalf("right-edge corrected σ̂ = %v", got)
+	}
+}
+
+// zeroEstimator answers 0 for everything: the wrapper must pass the zero
+// through (nothing to correct multiplicatively).
+type zeroEstimator struct{}
+
+func (zeroEstimator) Selectivity(a, b float64) float64 { return 0 }
+func (zeroEstimator) Name() string                     { return "zero" }
+
+func TestZeroBaseEstimate(t *testing.T) {
+	ad, err := New(zeroEstimator{}, 0, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.Observe(100, 200, 0.5) // unlearnable: base estimate is 0
+	if ad.Observed() != 0 {
+		t.Fatal("zero-base feedback should be ignored")
+	}
+	if ad.Selectivity(100, 200) != 0 {
+		t.Fatal("zero base should stay zero")
+	}
+}

@@ -1,0 +1,116 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EndBiased is an end-biased histogram (in the spirit of Ioannidis &
+// Christodoulakis, the paper's reference [2]): the k most frequent values
+// are stored exactly as singleton buckets and the remaining mass falls
+// into one equi-width "rest" histogram. On heavy-duplicate attributes
+// (the paper's iw/ci file) the frequent values carry most of the answer
+// and the singletons remove their error entirely.
+type EndBiased struct {
+	singles map[float64]float64 // value → mass fraction
+	rest    *Histogram          // nil when every sample is a singleton
+	restPor float64             // mass fraction of the rest histogram
+	n       int
+}
+
+// BuildEndBiased builds an end-biased histogram with k singleton buckets
+// and restBins equi-width bins for the remainder over [lo, hi].
+func BuildEndBiased(samples []float64, k, restBins int, lo, hi float64) (*EndBiased, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("histogram: singleton count must be >= 1, got %d", k)
+	}
+	if restBins < 1 {
+		return nil, fmt.Errorf("histogram: rest bin count must be >= 1, got %d", restBins)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("histogram: end-biased needs samples")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("histogram: domain [%v, %v] is empty", lo, hi)
+	}
+
+	freq := make(map[float64]int, len(samples))
+	for _, v := range samples {
+		freq[v]++
+	}
+	type vc struct {
+		v float64
+		c int
+	}
+	byCount := make([]vc, 0, len(freq))
+	for v, c := range freq {
+		byCount = append(byCount, vc{v, c})
+	}
+	sort.Slice(byCount, func(i, j int) bool {
+		if byCount[i].c != byCount[j].c {
+			return byCount[i].c > byCount[j].c
+		}
+		return byCount[i].v < byCount[j].v // deterministic ties
+	})
+	if k > len(byCount) {
+		k = len(byCount)
+	}
+
+	e := &EndBiased{singles: make(map[float64]float64, k), n: len(samples)}
+	isSingle := make(map[float64]bool, k)
+	for _, t := range byCount[:k] {
+		e.singles[t.v] = float64(t.c) / float64(len(samples))
+		isSingle[t.v] = true
+	}
+	var rest []float64
+	for _, v := range samples {
+		if !isSingle[v] {
+			rest = append(rest, v)
+		}
+	}
+	e.restPor = float64(len(rest)) / float64(len(samples))
+	if len(rest) > 0 {
+		h, err := BuildEquiWidth(rest, restBins, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		e.rest = h
+	}
+	return e, nil
+}
+
+// Selectivity returns σ̂(a,b): exact singleton masses plus the rest
+// histogram's (scaled) estimate.
+func (e *EndBiased) Selectivity(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	sum := 0.0
+	for v, mass := range e.singles {
+		if v >= a && v <= b {
+			sum += mass
+		}
+	}
+	if e.rest != nil {
+		sum += e.restPor * e.rest.Selectivity(a, b)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Singletons returns the number of singleton buckets.
+func (e *EndBiased) Singletons() int { return len(e.singles) }
+
+// SampleSize returns the number of samples.
+func (e *EndBiased) SampleSize() int { return e.n }
+
+// Name identifies the estimator in experiment output.
+func (e *EndBiased) Name() string { return "end-biased" }
+
+// SingletonMass returns the total mass fraction held by singletons — a
+// diagnostic for how duplicate-heavy the attribute is.
+func (e *EndBiased) SingletonMass() float64 {
+	return 1 - e.restPor
+}

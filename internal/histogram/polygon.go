@@ -1,0 +1,113 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FrequencyPolygon is the classical repair for the paper's histogram
+// critique (§3.1: "discontinuous jump points can be observed in the
+// boundary of two adjacent bins"): the density estimate interpolates
+// linearly between the bin midpoints of an equi-width histogram. Scott
+// (1985) showed the frequency polygon's MISE converges at O(n^{−4/5}) —
+// the kernel estimator's rate — at histogram cost.
+type FrequencyPolygon struct {
+	hist *Histogram
+	// xs/ys are the polygon's knots: bin midpoints (plus half-bin
+	// extensions at both ends, where the density falls to zero) and the
+	// bin densities at them.
+	xs, ys []float64
+}
+
+// BuildFrequencyPolygon builds the polygon over an equi-width histogram
+// with k bins on [lo, hi].
+func BuildFrequencyPolygon(samples []float64, k int, lo, hi float64) (*FrequencyPolygon, error) {
+	h, err := BuildEquiWidth(samples, k, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if h.n == 0 {
+		return nil, fmt.Errorf("histogram: frequency polygon needs samples")
+	}
+	fp := &FrequencyPolygon{hist: h}
+	width := (hi - lo) / float64(k)
+	// Knots: zero at lo−width/2, bin densities at midpoints, zero at
+	// hi+width/2 — the standard construction, which preserves unit mass.
+	fp.xs = append(fp.xs, lo-width/2)
+	fp.ys = append(fp.ys, 0)
+	for i := 0; i < k; i++ {
+		mid := lo + (float64(i)+0.5)*width
+		fp.xs = append(fp.xs, mid)
+		fp.ys = append(fp.ys, float64(h.counts[i])/(float64(h.n)*width))
+	}
+	fp.xs = append(fp.xs, hi+width/2)
+	fp.ys = append(fp.ys, 0)
+	return fp, nil
+}
+
+// Density returns the polygon density at x.
+func (fp *FrequencyPolygon) Density(x float64) float64 {
+	if x <= fp.xs[0] || x >= fp.xs[len(fp.xs)-1] {
+		return 0
+	}
+	// First knot strictly right of x.
+	i := sort.SearchFloat64s(fp.xs, x)
+	if i == 0 {
+		return fp.ys[0]
+	}
+	if fp.xs[i-1] == x {
+		return fp.ys[i-1]
+	}
+	t := (x - fp.xs[i-1]) / (fp.xs[i] - fp.xs[i-1])
+	return fp.ys[i-1] + t*(fp.ys[i]-fp.ys[i-1])
+}
+
+// Selectivity integrates the polygon over [a, b] exactly (it is piecewise
+// linear, so each segment contributes a trapezoid).
+func (fp *FrequencyPolygon) Selectivity(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	lo, hi := fp.xs[0], fp.xs[len(fp.xs)-1]
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i+1 < len(fp.xs); i++ {
+		segLo, segHi := fp.xs[i], fp.xs[i+1]
+		l := a
+		if segLo > l {
+			l = segLo
+		}
+		r := b
+		if segHi < r {
+			r = segHi
+		}
+		if r <= l {
+			continue
+		}
+		sum += (fp.Density(l) + fp.Density(r)) / 2 * (r - l)
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Bins returns the number of underlying histogram bins.
+func (fp *FrequencyPolygon) Bins() int { return fp.hist.Bins() }
+
+// SampleSize returns the number of samples.
+func (fp *FrequencyPolygon) SampleSize() int { return fp.hist.SampleSize() }
+
+// Name identifies the estimator in experiment output.
+func (fp *FrequencyPolygon) Name() string { return "frequency-polygon" }

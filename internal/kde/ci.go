@@ -1,0 +1,101 @@
+package kde
+
+import (
+	"math"
+
+	"selest/internal/kernel"
+)
+
+// SelectivityCI returns the selectivity estimate together with the
+// half-width of an approximate confidence interval at the given z-score
+// (1.96 ≈ 95%). The estimator σ̂ = (1/n)Σc_i is a sample mean of the
+// per-sample kernel masses c_i ∈ [0,1], so the CLT applies and the
+// interval is est ± z·s_c/√n with s_c the sample standard deviation of
+// the c_i.
+//
+// This serves the online-aggregation use case the paper's future work
+// names: an approximate answer is only useful together with a precision
+// statement. The interval covers sampling error only — the smoothing bias
+// of the kernel (the AMISE bias term) is not included, so coverage is
+// approximate for bandwidths far from optimal.
+func (e *Estimator) SelectivityCI(a, b, z float64) (est, halfWidth float64) {
+	if b < a || z < 0 {
+		return 0, 0
+	}
+	qa, qb := a, b
+	if e.mode != BoundaryNone {
+		qa = math.Max(a, e.lo)
+		qb = math.Min(b, e.hi)
+		if qb < qa {
+			return 0, 0
+		}
+	}
+	// Per-sample masses. The boundary-kernel mode has position-dependent
+	// kernels; its per-sample contribution is still a well-defined
+	// bounded random variable, evaluated through the same machinery.
+	contribs := make([]float64, 0, e.n)
+	switch e.mode {
+	case BoundaryKernels:
+		for _, x := range e.sorted {
+			contribs = append(contribs, e.boundaryKernelMass(x, qa, qb))
+		}
+	default:
+		reflTerm := func(x float64) float64 {
+			return e.k.CDF((qb-x)/e.h) - e.k.CDF((qa-x)/e.h)
+		}
+		// Map each original sample to its total contribution including its
+		// mirror images, so contributions stay i.i.d. per original sample.
+		for _, x := range e.sorted {
+			c := reflTerm(x)
+			if e.mode == BoundaryReflect {
+				reach := e.h * e.k.Support()
+				if x-e.lo < reach {
+					c += reflTerm(2*e.lo - x)
+				}
+				if e.hi-x < reach {
+					c += reflTerm(2*e.hi - x)
+				}
+			}
+			contribs = append(contribs, c)
+		}
+	}
+
+	mean := 0.0
+	for _, c := range contribs {
+		mean += c
+	}
+	mean /= float64(len(contribs))
+	variance := 0.0
+	for _, c := range contribs {
+		d := c - mean
+		variance += d * d
+	}
+	if len(contribs) > 1 {
+		variance /= float64(len(contribs) - 1)
+	}
+	est = math.Min(math.Max(mean, 0), 1)
+	halfWidth = z * math.Sqrt(variance/float64(len(contribs)))
+	return est, halfWidth
+}
+
+// boundaryKernelMass computes one sample's total contribution to the
+// boundary-kernel selectivity over [qa, qb] (interior part plus both
+// strips).
+func (e *Estimator) boundaryKernelMass(x, qa, qb float64) float64 {
+	mid := 0.5 * (e.lo + e.hi)
+	leftEnd := math.Min(e.lo+e.h, mid)
+	rightStart := math.Max(e.hi-e.h, mid)
+	mass := 0.0
+	if ia, ib := math.Max(qa, leftEnd), math.Min(qb, rightStart); ib > ia {
+		mass += e.k.CDF((ib-x)/e.h) - e.k.CDF((ia-x)/e.h)
+	}
+	if la, lb := qa, math.Min(qb, leftEnd); lb > la && x <= e.lo+2*e.h {
+		u1, u2 := (la-e.lo)/e.h, (lb-e.lo)/e.h
+		mass += kernel.BoundaryStripIntegral((x-e.lo)/e.h, u1, u2)
+	}
+	if ra, rb := math.Max(qa, rightStart), qb; rb > ra && x >= e.hi-2*e.h {
+		u1, u2 := (e.hi-rb)/e.h, (e.hi-ra)/e.h
+		mass += kernel.BoundaryStripIntegral((e.hi-x)/e.h, u1, u2)
+	}
+	return mass
+}

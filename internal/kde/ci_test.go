@@ -1,0 +1,97 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xmath"
+	"selest/internal/xrand"
+)
+
+func TestSelectivityCIMeanMatchesEstimate(t *testing.T) {
+	// The CI's point estimate must agree with Selectivity for every mode.
+	samples := uniformSamples(t, 1000, 0, 1000, 31)
+	for _, mode := range []BoundaryMode{BoundaryNone, BoundaryReflect, BoundaryKernels} {
+		e, err := New(samples, Config{Bandwidth: 40, Boundary: mode, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range [][2]float64{{0, 80}, {100, 300}, {450, 550}, {920, 1000}} {
+			est, hw := e.SelectivityCI(q[0], q[1], 1.96)
+			want := e.Selectivity(q[0], q[1])
+			if !xmath.AlmostEqual(est, want, 1e-9) {
+				t.Fatalf("%s: CI estimate %v != Selectivity %v for Q(%v,%v)", mode, est, want, q[0], q[1])
+			}
+			if hw < 0 {
+				t.Fatalf("%s: negative half-width %v", mode, hw)
+			}
+		}
+	}
+}
+
+func TestSelectivityCIWidthShrinksWithN(t *testing.T) {
+	q := [2]float64{400, 500}
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{200, 2000, 20000} {
+		samples := uniformSamples(t, n, 0, 1000, 32)
+		e, err := New(samples, Config{Bandwidth: 30, Boundary: BoundaryReflect, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hw := e.SelectivityCI(q[0], q[1], 1.96)
+		if hw >= prev {
+			t.Fatalf("half-width did not shrink: n=%d gives %v (prev %v)", n, hw, prev)
+		}
+		prev = hw
+	}
+}
+
+func TestSelectivityCICoverage(t *testing.T) {
+	// Frequentist check: over many independent samples of uniform data,
+	// the 95% interval should cover the true selectivity ~95% of the time
+	// (smoothing bias is tiny for interior queries on uniform data).
+	const (
+		trials  = 300
+		n       = 500
+		a, b    = 300.0, 420.0
+		trueSel = (b - a) / 1000
+	)
+	r := xrand.New(33)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.Float64() * 1000
+		}
+		e, err := New(samples, Config{Bandwidth: 30, Boundary: BoundaryReflect, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, hw := e.SelectivityCI(a, b, 1.96)
+		if math.Abs(est-trueSel) <= hw {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.88 || rate > 0.99 {
+		t.Fatalf("95%% CI covered the truth in %v of trials", rate)
+	}
+}
+
+func TestSelectivityCIDegenerate(t *testing.T) {
+	e, err := New([]float64{1, 2, 3}, Config{Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est, hw := e.SelectivityCI(5, 4, 1.96); est != 0 || hw != 0 {
+		t.Fatal("inverted query should give (0,0)")
+	}
+	if est, hw := e.SelectivityCI(0, 4, -1); est != 0 || hw != 0 {
+		t.Fatal("negative z should give (0,0)")
+	}
+	// Query far away: estimate 0, zero variance.
+	est, hw := e.SelectivityCI(100, 200, 1.96)
+	if est != 0 || hw != 0 {
+		t.Fatalf("distant query CI = (%v, %v)", est, hw)
+	}
+}

@@ -1,0 +1,121 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xmath"
+	"selest/internal/xrand"
+)
+
+func TestNew2DValidation(t *testing.T) {
+	if _, err := New2D(nil, nil, Config2D{BandwidthX: 1, BandwidthY: 1}); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	if _, err := New2D([]float64{1}, []float64{1, 2}, Config2D{BandwidthX: 1, BandwidthY: 1}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := New2D([]float64{1}, []float64{1}, Config2D{BandwidthX: 0, BandwidthY: 1}); err == nil {
+		t.Fatal("zero bandwidth should error")
+	}
+	if _, err := New2D([]float64{1}, []float64{1}, Config2D{BandwidthX: 1, BandwidthY: 1, Reflect: true}); err == nil {
+		t.Fatal("reflection without domain should error")
+	}
+}
+
+func TestSingleSample2D(t *testing.T) {
+	e, err := New2D([]float64{0}, []float64{0}, Config2D{BandwidthX: 1, BandwidthY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Selectivity(-1, 1, -1, 1); !xmath.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("whole-kernel 2D selectivity = %v, want 1", got)
+	}
+	// Quarter plane through the centre: ½ · ½.
+	if got := e.Selectivity(0, 1, 0, 1); !xmath.AlmostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("quarter selectivity = %v, want 0.25", got)
+	}
+	if e.Selectivity(5, 6, 5, 6) != 0 {
+		t.Fatal("distant query should be 0")
+	}
+	if e.Selectivity(1, -1, 0, 1) != 0 {
+		t.Fatal("inverted range should be 0")
+	}
+}
+
+func TestSelectivity2DAccuracy(t *testing.T) {
+	// Uniform points on [0,100]²: a 20×20 interior box has selectivity 0.04.
+	r := xrand.New(12)
+	n := 4000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+		ys[i] = r.Float64() * 100
+	}
+	e, err := New2D(xs, ys, Config2D{BandwidthX: 8, BandwidthY: 8, Reflect: true, LoX: 0, HiX: 100, LoY: 0, HiY: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Selectivity(40, 60, 40, 60)
+	if math.Abs(got-0.04) > 0.012 {
+		t.Fatalf("interior box estimate = %v, want ~0.04", got)
+	}
+	// Corner box: reflection must keep the estimate close to truth.
+	corner := e.Selectivity(0, 20, 0, 20)
+	if math.Abs(corner-0.04) > 0.015 {
+		t.Fatalf("corner box estimate = %v, want ~0.04", corner)
+	}
+}
+
+func TestSelectivity2DMatchesDensityIntegral(t *testing.T) {
+	r := xrand.New(13)
+	n := 200
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+		ys[i] = r.Normal()*2 + 5
+	}
+	e, err := New2D(xs, ys, Config2D{BandwidthX: 1.5, BandwidthY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-D Simpson via iterated 1-D integration.
+	inner := func(x float64) float64 {
+		return xmath.Simpson(func(y float64) float64 { return e.Density(x, y) }, 3, 7, 200)
+	}
+	want := xmath.Simpson(inner, 2, 6, 200)
+	got := e.Selectivity(2, 6, 3, 7)
+	if !xmath.AlmostEqual(got, want, 1e-3) {
+		t.Fatalf("2-D selectivity %v vs density integral %v", got, want)
+	}
+}
+
+func TestSelectivity2DClampsReflectQueries(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 2, 3}
+	e, err := New2D(xs, ys, Config2D{BandwidthX: 1, BandwidthY: 1, Reflect: true, LoX: 0, HiX: 4, LoY: 0, HiY: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := e.Selectivity(0, 4, 0, 4)
+	ext := e.Selectivity(-10, 14, -10, 14)
+	if !xmath.AlmostEqual(whole, ext, 1e-12) {
+		t.Fatalf("extended query must clip: %v vs %v", whole, ext)
+	}
+	if !xmath.AlmostEqual(whole, 1, 1e-9) {
+		t.Fatalf("whole-domain 2-D reflect selectivity = %v, want 1", whole)
+	}
+}
+
+func TestEstimator2DAccessors(t *testing.T) {
+	e, err := New2D([]float64{1}, []float64{2}, Config2D{BandwidthX: 1, BandwidthY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SampleSize() != 1 {
+		t.Fatal("SampleSize wrong")
+	}
+	if e.Name() != "kernel2d(epanechnikov)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}

@@ -1,0 +1,180 @@
+package kde
+
+import (
+	"fmt"
+	"math"
+
+	"selest/internal/kernel"
+)
+
+// EstimatorND estimates the selectivity of d-dimensional hyper-rectangle
+// queries with a product kernel and per-axis bandwidths — the full
+// generalisation of the paper's future-work item #1 (Estimator2D is the
+// two-dimensional special case kept for its friendlier API):
+//
+//	f̂(x) = 1/(n·Πh_j) Σ_i Π_j K((x_j − X_ij)/h_j)
+//
+// Boundary repair uses per-axis reflection.
+type EstimatorND struct {
+	points  [][]float64 // points[i][j] = sample i, axis j
+	n, dims int
+	hs      []float64
+	k       kernel.Kernel
+	reflect bool
+	lo, hi  []float64
+}
+
+// ConfigND parameterises an N-dimensional kernel estimator.
+type ConfigND struct {
+	// Kernel is the per-axis smoothing kernel; nil defaults to
+	// Epanechnikov.
+	Kernel kernel.Kernel
+	// Bandwidths holds one positive bandwidth per axis.
+	Bandwidths []float64
+	// Reflect enables per-axis sample reflection at [Lo[j], Hi[j]].
+	Reflect bool
+	// Lo and Hi bound the domain per axis (required with Reflect).
+	Lo, Hi []float64
+}
+
+// NewND builds an estimator from points (copied). Every point must have
+// the same dimensionality as Bandwidths.
+func NewND(points [][]float64, cfg ConfigND) (*EstimatorND, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kde: empty sample set")
+	}
+	dims := len(cfg.Bandwidths)
+	if dims == 0 {
+		return nil, fmt.Errorf("kde: need at least one bandwidth")
+	}
+	for j, h := range cfg.Bandwidths {
+		if h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+			return nil, fmt.Errorf("kde: bandwidth %d must be positive and finite, got %v", j, h)
+		}
+	}
+	k := cfg.Kernel
+	if k == nil {
+		k = kernel.Epanechnikov{}
+	}
+	if cfg.Reflect {
+		if len(cfg.Lo) != dims || len(cfg.Hi) != dims {
+			return nil, fmt.Errorf("kde: reflection needs %d-dimensional Lo/Hi", dims)
+		}
+		for j := range cfg.Lo {
+			if !(cfg.Hi[j] > cfg.Lo[j]) {
+				return nil, fmt.Errorf("kde: axis %d domain [%v, %v] is empty", j, cfg.Lo[j], cfg.Hi[j])
+			}
+		}
+	}
+	e := &EstimatorND{
+		points:  make([][]float64, len(points)),
+		n:       len(points),
+		dims:    dims,
+		hs:      append([]float64(nil), cfg.Bandwidths...),
+		k:       k,
+		reflect: cfg.Reflect,
+		lo:      append([]float64(nil), cfg.Lo...),
+		hi:      append([]float64(nil), cfg.Hi...),
+	}
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("kde: point %d has %d dimensions, want %d", i, len(p), dims)
+		}
+		e.points[i] = append([]float64(nil), p...)
+	}
+	return e, nil
+}
+
+// Selectivity returns the estimated fraction of records inside the
+// hyper-rectangle with per-axis bounds [a[j], b[j]].
+func (e *EstimatorND) Selectivity(a, b []float64) (float64, error) {
+	if len(a) != e.dims || len(b) != e.dims {
+		return 0, fmt.Errorf("kde: query has %d/%d bounds, want %d", len(a), len(b), e.dims)
+	}
+	qa := append([]float64(nil), a...)
+	qb := append([]float64(nil), b...)
+	for j := range qa {
+		if qb[j] < qa[j] {
+			return 0, nil
+		}
+		if e.reflect {
+			qa[j] = math.Max(qa[j], e.lo[j])
+			qb[j] = math.Min(qb[j], e.hi[j])
+			if qb[j] < qa[j] {
+				return 0, nil
+			}
+		}
+	}
+	sum := 0.0
+	for _, p := range e.points {
+		mass := 1.0
+		for j := 0; j < e.dims && mass != 0; j++ {
+			mass *= e.axisMass(qa[j], qb[j], p[j], j)
+		}
+		sum += mass
+	}
+	s := sum / float64(e.n)
+	if s < 0 {
+		return 0, nil
+	}
+	if s > 1 {
+		return 1, nil
+	}
+	return s, nil
+}
+
+// axisMass is the kernel mass of one sample coordinate over [a, b] on
+// axis j, including reflection images.
+func (e *EstimatorND) axisMass(a, b, x float64, j int) float64 {
+	h := e.hs[j]
+	m := e.k.CDF((b-x)/h) - e.k.CDF((a-x)/h)
+	if e.reflect {
+		for _, mx := range []float64{2*e.lo[j] - x, 2*e.hi[j] - x} {
+			m += e.k.CDF((b-mx)/h) - e.k.CDF((a-mx)/h)
+		}
+	}
+	return m
+}
+
+// Density returns the estimated joint density at x.
+func (e *EstimatorND) Density(x []float64) (float64, error) {
+	if len(x) != e.dims {
+		return 0, fmt.Errorf("kde: point has %d dimensions, want %d", len(x), e.dims)
+	}
+	if e.reflect {
+		for j := range x {
+			if x[j] < e.lo[j] || x[j] > e.hi[j] {
+				return 0, nil
+			}
+		}
+	}
+	norm := float64(e.n)
+	for _, h := range e.hs {
+		norm *= h
+	}
+	sum := 0.0
+	for _, p := range e.points {
+		w := 1.0
+		for j := 0; j < e.dims && w != 0; j++ {
+			kj := e.k.Eval((x[j] - p[j]) / e.hs[j])
+			if e.reflect {
+				kj += e.k.Eval((x[j]-(2*e.lo[j]-p[j]))/e.hs[j]) +
+					e.k.Eval((x[j]-(2*e.hi[j]-p[j]))/e.hs[j])
+			}
+			w *= kj
+		}
+		sum += w
+	}
+	return sum / norm, nil
+}
+
+// Dims returns the dimensionality.
+func (e *EstimatorND) Dims() int { return e.dims }
+
+// SampleSize returns the number of sample points.
+func (e *EstimatorND) SampleSize() int { return e.n }
+
+// Name identifies the estimator in experiment output.
+func (e *EstimatorND) Name() string {
+	return fmt.Sprintf("kernel%dd(%s)", e.dims, e.k.Name())
+}

@@ -1,0 +1,167 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xmath"
+	"selest/internal/xrand"
+)
+
+func ndPoints(n, dims int, seed uint64) [][]float64 {
+	r := xrand.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for j := range p {
+			p[j] = r.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewNDValidation(t *testing.T) {
+	if _, err := NewND(nil, ConfigND{Bandwidths: []float64{1}}); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := NewND([][]float64{{1}}, ConfigND{}); err == nil {
+		t.Fatal("no bandwidths should error")
+	}
+	if _, err := NewND([][]float64{{1}}, ConfigND{Bandwidths: []float64{0}}); err == nil {
+		t.Fatal("zero bandwidth should error")
+	}
+	if _, err := NewND([][]float64{{1, 2}}, ConfigND{Bandwidths: []float64{1}}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if _, err := NewND([][]float64{{1}}, ConfigND{Bandwidths: []float64{1}, Reflect: true}); err == nil {
+		t.Fatal("reflection without domain should error")
+	}
+	if _, err := NewND([][]float64{{1}}, ConfigND{Bandwidths: []float64{1}, Reflect: true, Lo: []float64{0}, Hi: []float64{0}}); err == nil {
+		t.Fatal("empty axis domain should error")
+	}
+}
+
+func TestNDSingleSample3D(t *testing.T) {
+	e, err := NewND([][]float64{{0, 0, 0}}, ConfigND{Bandwidths: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dims() != 3 || e.SampleSize() != 1 {
+		t.Fatal("accessors wrong")
+	}
+	if e.Name() != "kernel3d(epanechnikov)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	// Whole kernel support: mass 1. One octant through the centre: 1/8.
+	whole, err := e.Selectivity([]float64{-1, -1, -1}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.AlmostEqual(whole, 1, 1e-12) {
+		t.Fatalf("whole-support σ̂ = %v", whole)
+	}
+	octant, err := e.Selectivity([]float64{0, 0, 0}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.AlmostEqual(octant, 0.125, 1e-12) {
+		t.Fatalf("octant σ̂ = %v, want 1/8", octant)
+	}
+}
+
+func TestNDMatches2DSpecialCase(t *testing.T) {
+	// The ND estimator at d=2 must agree exactly with Estimator2D.
+	pts := ndPoints(300, 2, 1)
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p[0], p[1]
+	}
+	nd, err := NewND(pts, ConfigND{
+		Bandwidths: []float64{8, 5}, Reflect: true,
+		Lo: []float64{0, 0}, Hi: []float64{100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twod, err := New2D(xs, ys, Config2D{
+		BandwidthX: 8, BandwidthY: 5, Reflect: true,
+		LoX: 0, HiX: 100, LoY: 0, HiY: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][4]float64{{0, 30, 0, 30}, {20, 80, 40, 60}, {90, 100, 0, 100}} {
+		got, err := nd.Selectivity([]float64{q[0], q[2]}, []float64{q[1], q[3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := twod.Selectivity(q[0], q[1], q[2], q[3])
+		if !xmath.AlmostEqual(got, want, 1e-12) {
+			t.Fatalf("ND %v != 2D %v for %v", got, want, q)
+		}
+	}
+}
+
+func TestNDAccuracyUniform3D(t *testing.T) {
+	pts := ndPoints(8000, 3, 2)
+	e, err := NewND(pts, ConfigND{
+		Bandwidths: []float64{10, 10, 10}, Reflect: true,
+		Lo: []float64{0, 0, 0}, Hi: []float64{100, 100, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 40³ box in a 100³ cube: selectivity 0.064.
+	got, err := e.Selectivity([]float64{30, 30, 30}, []float64{70, 70, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.064) > 0.02 {
+		t.Fatalf("box σ̂ = %v, want ~0.064", got)
+	}
+}
+
+func TestNDQueryValidation(t *testing.T) {
+	e, err := NewND(ndPoints(10, 2, 3), ConfigND{Bandwidths: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Selectivity([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("wrong-arity query should error")
+	}
+	s, err := e.Selectivity([]float64{5, 5}, []float64{1, 9})
+	if err != nil || s != 0 {
+		t.Fatalf("inverted axis: (%v, %v)", s, err)
+	}
+	if _, err := e.Density([]float64{1}); err == nil {
+		t.Fatal("wrong-arity density should error")
+	}
+}
+
+func TestNDDensityIntegratesToSelectivity(t *testing.T) {
+	pts := ndPoints(100, 2, 4)
+	e, err := NewND(pts, ConfigND{Bandwidths: []float64{10, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterated 1-D Simpson over a window.
+	inner := func(x float64) float64 {
+		return xmath.Simpson(func(y float64) float64 {
+			d, err := e.Density([]float64{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}, 20, 60, 120)
+	}
+	want := xmath.Simpson(inner, 30, 70, 120)
+	got, err := e.Selectivity([]float64{30, 20}, []float64{70, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.AlmostEqual(got, want, 1e-3) {
+		t.Fatalf("σ̂ %v vs ∫∫f̂ %v", got, want)
+	}
+}

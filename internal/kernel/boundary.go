@@ -1,0 +1,77 @@
+package kernel
+
+import "math"
+
+// This file implements the Simonoff–Dong family of boundary kernels the
+// paper adopts for repairing kernel estimates near the domain boundaries
+// (paper §3.2.1):
+//
+//	K^(l)(t, q) = (3 + 3q² − 6t²) / (1+q)³ · I_{[−1, q]}(t),  q ∈ [0, 1]
+//
+// where q = (x − l)/h is the normalised distance of the evaluation point
+// from the left boundary l. The family integrates to one for every q and
+// smoothly deforms into a one-sided kernel as x approaches the boundary.
+// Boundary kernels may take negative values for |t| close to 1; that is by
+// construction (it is what restores consistency) and callers clamp final
+// selectivities to [0, 1].
+//
+// For the right boundary the mirrored family K^(r)(t, q) = K^(l)(−t, q)
+// applies with q = (r − x)/h.
+
+// BoundaryEval returns K^(l)(t, q), the left-boundary kernel at t for
+// boundary parameter q ∈ [0, 1]. Outside [−1, q] the kernel is zero.
+func BoundaryEval(t, q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	if t < -1 || t > q {
+		return 0
+	}
+	den := (1 + q) * (1 + q) * (1 + q)
+	return (3 + 3*q*q - 6*t*t) / den
+}
+
+// BoundaryEvalRight returns K^(r)(t, q) = K^(l)(−t, q), the right-boundary
+// kernel.
+func BoundaryEvalRight(t, q float64) float64 {
+	return BoundaryEval(-t, q)
+}
+
+// BoundaryStripIntegral computes the selectivity contribution of a single
+// sample inside the left boundary strip:
+//
+//	∫_{u1}^{u2} K^(l)(u − s, u) du
+//
+// where u = (x − l)/h sweeps the query range inside the strip (u ∈ [0, 1]),
+// s = (X_i − l)/h ≥ 0 is the sample's normalised distance from the
+// boundary, and the boundary parameter q equals u (the paper's "q is a
+// monotone function of x with q(0)=0, q(h)=1").
+//
+// By symmetry the same function evaluates right-boundary contributions with
+// s = (r − X_i)/h, u = (r − x)/h (the integration direction flips but the
+// integrand is identical).
+//
+// The integral has the closed form (v = 1 + u):
+//
+//	G(v; s) = −3 ln v − (6 + 12s)/v + (6s + 3s²)/v²
+//
+// derived by expanding the numerator of K^(l)(u−s, u) in v.
+func BoundaryStripIntegral(s, u1, u2 float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	// Clip to the strip and to the kernel support t = u−s ≥ −1 ⇒ u ≥ s−1.
+	lo := math.Max(math.Max(u1, 0), s-1)
+	hi := math.Min(u2, 1)
+	if hi <= lo {
+		return 0
+	}
+	return boundaryPrimitive(1+hi, s) - boundaryPrimitive(1+lo, s)
+}
+
+// boundaryPrimitive is G(v; s) above.
+func boundaryPrimitive(v, s float64) float64 {
+	return -3*math.Log(v) - (6+12*s)/v + (6*s+3*s*s)/(v*v)
+}

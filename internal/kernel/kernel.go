@@ -1,0 +1,303 @@
+// Package kernel provides the kernel functions of kernel density
+// estimation: the Epanechnikov kernel the paper uses, a set of alternatives
+// (the paper notes the choice of kernel matters far less than the choice of
+// bandwidth — our ablation bench verifies that), their primitives, and the
+// Simonoff–Dong boundary kernel family used to repair estimation near the
+// domain boundaries.
+package kernel
+
+import "math"
+
+// Kernel is a symmetric probability density on the real line used as a
+// smoothing kernel. Implementations are immutable values.
+type Kernel interface {
+	// Name identifies the kernel in experiment output.
+	Name() string
+	// Eval returns K(t).
+	Eval(t float64) float64
+	// CDF returns ∫_{−∞}^{t} K(u) du. For compactly supported kernels this
+	// is 0 below −Support() and 1 above +Support(). This is the primitive
+	// the paper's Algorithm 1 evaluates (shifted so CDF(0) = 1/2).
+	CDF(t float64) float64
+	// Support returns the half-width R of the kernel's support: K(t) = 0
+	// for |t| > R. Kernels with unbounded support return +Inf.
+	Support() float64
+	// SecondMoment returns k₂ = ∫ t² K(t) dt, the constant in the AMISE
+	// bias term (paper §4.2 condition (c)).
+	SecondMoment() float64
+	// Roughness returns ∫ K(t)² dt, the constant in the AMISE variance
+	// term (paper eq. 9b).
+	Roughness() float64
+}
+
+// Epanechnikov is the kernel the paper adopts: K(t) = ¾(1−t²) on [−1,1].
+// It minimises the AMISE among all kernels, and its primitive
+// F(t) = ¼(3t−t³) is a three-operation polynomial, which is why the paper
+// calls it "inexpensive to compute".
+type Epanechnikov struct{}
+
+// Name implements Kernel.
+func (Epanechnikov) Name() string { return "epanechnikov" }
+
+// Eval implements Kernel.
+func (Epanechnikov) Eval(t float64) float64 {
+	if t < -1 || t > 1 {
+		return 0
+	}
+	return 0.75 * (1 - t*t)
+}
+
+// CDF implements Kernel: ∫_{−1}^{t} K = ½ + ¼(3t−t³) for |t| ≤ 1.
+func (Epanechnikov) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	default:
+		return 0.5 + 0.25*(3*t-t*t*t)
+	}
+}
+
+// Support implements Kernel.
+func (Epanechnikov) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1/5 (the paper's value).
+func (Epanechnikov) SecondMoment() float64 { return 1.0 / 5.0 }
+
+// Roughness implements Kernel: ∫K² = 3/5.
+func (Epanechnikov) Roughness() float64 { return 3.0 / 5.0 }
+
+// Biweight (quartic) kernel: K(t) = 15/16 (1−t²)² on [−1,1].
+type Biweight struct{}
+
+// Name implements Kernel.
+func (Biweight) Name() string { return "biweight" }
+
+// Eval implements Kernel.
+func (Biweight) Eval(t float64) float64 {
+	if t < -1 || t > 1 {
+		return 0
+	}
+	u := 1 - t*t
+	return 15.0 / 16.0 * u * u
+}
+
+// CDF implements Kernel.
+func (Biweight) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	default:
+		// ∫ 15/16 (1−u²)² du = 15/16 (u − 2u³/3 + u⁵/5) + C
+		return 0.5 + 15.0/16.0*(t-2*t*t*t/3+t*t*t*t*t/5)
+	}
+}
+
+// Support implements Kernel.
+func (Biweight) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1/7.
+func (Biweight) SecondMoment() float64 { return 1.0 / 7.0 }
+
+// Roughness implements Kernel: ∫K² = 5/7.
+func (Biweight) Roughness() float64 { return 5.0 / 7.0 }
+
+// Triweight kernel: K(t) = 35/32 (1−t²)³ on [−1,1].
+type Triweight struct{}
+
+// Name implements Kernel.
+func (Triweight) Name() string { return "triweight" }
+
+// Eval implements Kernel.
+func (Triweight) Eval(t float64) float64 {
+	if t < -1 || t > 1 {
+		return 0
+	}
+	u := 1 - t*t
+	return 35.0 / 32.0 * u * u * u
+}
+
+// CDF implements Kernel.
+func (Triweight) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	default:
+		// ∫ (1−u²)³ du = u − u³ + 3u⁵/5 − u⁷/7 + C
+		return 0.5 + 35.0/32.0*(t-t*t*t+3*math.Pow(t, 5)/5-math.Pow(t, 7)/7)
+	}
+}
+
+// Support implements Kernel.
+func (Triweight) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1/9.
+func (Triweight) SecondMoment() float64 { return 1.0 / 9.0 }
+
+// Roughness implements Kernel: ∫K² = 350/429.
+func (Triweight) Roughness() float64 { return 350.0 / 429.0 }
+
+// Triangular kernel: K(t) = 1−|t| on [−1,1].
+type Triangular struct{}
+
+// Name implements Kernel.
+func (Triangular) Name() string { return "triangular" }
+
+// Eval implements Kernel.
+func (Triangular) Eval(t float64) float64 {
+	a := math.Abs(t)
+	if a > 1 {
+		return 0
+	}
+	return 1 - a
+}
+
+// CDF implements Kernel.
+func (Triangular) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	case t <= 0:
+		u := 1 + t
+		return 0.5 * u * u
+	default:
+		u := 1 - t
+		return 1 - 0.5*u*u
+	}
+}
+
+// Support implements Kernel.
+func (Triangular) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1/6.
+func (Triangular) SecondMoment() float64 { return 1.0 / 6.0 }
+
+// Roughness implements Kernel: ∫K² = 2/3.
+func (Triangular) Roughness() float64 { return 2.0 / 3.0 }
+
+// Uniform (box) kernel: K(t) = ½ on [−1,1]. A KDE with the uniform kernel
+// is a "moving histogram"; it is the bridge between histogram and kernel
+// estimation.
+type Uniform struct{}
+
+// Name implements Kernel.
+func (Uniform) Name() string { return "uniform" }
+
+// Eval implements Kernel.
+func (Uniform) Eval(t float64) float64 {
+	if t < -1 || t > 1 {
+		return 0
+	}
+	return 0.5
+}
+
+// CDF implements Kernel.
+func (Uniform) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	default:
+		return 0.5 * (t + 1)
+	}
+}
+
+// Support implements Kernel.
+func (Uniform) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1/3.
+func (Uniform) SecondMoment() float64 { return 1.0 / 3.0 }
+
+// Roughness implements Kernel: ∫K² = 1/2.
+func (Uniform) Roughness() float64 { return 0.5 }
+
+// Cosine kernel: K(t) = π/4 · cos(πt/2) on [−1,1].
+type Cosine struct{}
+
+// Name implements Kernel.
+func (Cosine) Name() string { return "cosine" }
+
+// Eval implements Kernel.
+func (Cosine) Eval(t float64) float64 {
+	if t < -1 || t > 1 {
+		return 0
+	}
+	return math.Pi / 4 * math.Cos(math.Pi*t/2)
+}
+
+// CDF implements Kernel.
+func (Cosine) CDF(t float64) float64 {
+	switch {
+	case t <= -1:
+		return 0
+	case t >= 1:
+		return 1
+	default:
+		return 0.5 * (1 + math.Sin(math.Pi*t/2))
+	}
+}
+
+// Support implements Kernel.
+func (Cosine) Support() float64 { return 1 }
+
+// SecondMoment implements Kernel: k₂ = 1 − 8/π².
+func (Cosine) SecondMoment() float64 { return 1 - 8/(math.Pi*math.Pi) }
+
+// Roughness implements Kernel: ∫K² = π²/16.
+func (Cosine) Roughness() float64 { return math.Pi * math.Pi / 16 }
+
+// Gaussian kernel: the standard normal density. Unbounded support means the
+// fast paths of Algorithm 1 never take the "contributes exactly 1"
+// shortcut; it is included to quantify that cost in the ablation bench.
+type Gaussian struct{}
+
+// Name implements Kernel.
+func (Gaussian) Name() string { return "gaussian" }
+
+// Eval implements Kernel.
+func (Gaussian) Eval(t float64) float64 {
+	return 0.3989422804014327 * math.Exp(-0.5*t*t)
+}
+
+// CDF implements Kernel.
+func (Gaussian) CDF(t float64) float64 {
+	return 0.5 * math.Erfc(-t/math.Sqrt2)
+}
+
+// Support implements Kernel. The Gaussian has unbounded support, but beyond
+// ~8.5 standard deviations the tail mass is below float64 resolution, so we
+// report a finite effective support to keep the evaluation fast paths valid.
+func (Gaussian) Support() float64 { return 8.5 }
+
+// SecondMoment implements Kernel: k₂ = 1.
+func (Gaussian) SecondMoment() float64 { return 1 }
+
+// Roughness implements Kernel: ∫K² = 1/(2√π).
+func (Gaussian) Roughness() float64 { return 1 / (2 * math.SqrtPi) }
+
+// All returns one instance of every kernel in this package, for
+// enumeration in tests and ablation benches.
+func All() []Kernel {
+	return []Kernel{
+		Epanechnikov{}, Biweight{}, Triweight{}, Triangular{},
+		Uniform{}, Cosine{}, Gaussian{},
+	}
+}
+
+// ByName returns the kernel with the given Name, or nil if unknown.
+func ByName(name string) Kernel {
+	for _, k := range All() {
+		if k.Name() == name {
+			return k
+		}
+	}
+	return nil
+}

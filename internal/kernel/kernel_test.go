@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selest/internal/xmath"
+)
+
+// TestKernelContract verifies the defining properties of every kernel:
+// unit mass, symmetry, zero first moment, and consistency of the published
+// SecondMoment/Roughness constants and the CDF with numeric integration.
+func TestKernelContract(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			r := k.Support()
+			if math.IsInf(r, 1) {
+				t.Fatalf("Support must be finite (effective) for fast paths")
+			}
+
+			// Unit mass.
+			mass := xmath.Simpson(k.Eval, -r, r, 4000)
+			if !xmath.AlmostEqual(mass, 1, 1e-6) {
+				t.Errorf("∫K = %v, want 1", mass)
+			}
+
+			// Symmetry and non-negativity at probe points (symmetric
+			// kernels; boundary kernels are deliberately excluded here).
+			for _, x := range []float64{0.1, 0.35, 0.77, 0.99} {
+				if !xmath.AlmostEqual(k.Eval(x), k.Eval(-x), 1e-12) {
+					t.Errorf("K(%v) != K(−%v)", x, x)
+				}
+				if k.Eval(x) < 0 {
+					t.Errorf("K(%v) = %v < 0", x, k.Eval(x))
+				}
+			}
+
+			// Zero outside support (compact kernels).
+			if k.Name() != "gaussian" {
+				if k.Eval(r+0.001) != 0 || k.Eval(-r-0.001) != 0 {
+					t.Error("kernel leaks outside its support")
+				}
+			}
+
+			// Published second moment matches ∫t²K.
+			k2 := xmath.Simpson(func(x float64) float64 { return x * x * k.Eval(x) }, -r, r, 4000)
+			if !xmath.AlmostEqual(k2, k.SecondMoment(), 1e-5) {
+				t.Errorf("numeric k2 = %v, published %v", k2, k.SecondMoment())
+			}
+
+			// Published roughness matches ∫K².
+			rough := xmath.Simpson(func(x float64) float64 { return k.Eval(x) * k.Eval(x) }, -r, r, 4000)
+			if !xmath.AlmostEqual(rough, k.Roughness(), 1e-5) {
+				t.Errorf("numeric ∫K² = %v, published %v", rough, k.Roughness())
+			}
+
+			// CDF agrees with numeric integration of Eval at probe points.
+			for _, x := range []float64{-0.9, -0.5, 0, 0.3, 0.8} {
+				num := xmath.Simpson(k.Eval, -r, x, 4000)
+				if !xmath.AlmostEqual(k.CDF(x), num, 1e-6) {
+					t.Errorf("CDF(%v) = %v, numeric %v", x, k.CDF(x), num)
+				}
+			}
+
+			// CDF limits.
+			if k.CDF(-r-1) != 0 && k.Name() != "gaussian" {
+				t.Error("CDF below support should be 0")
+			}
+			if got := k.CDF(r + 1); !xmath.AlmostEqual(got, 1, 1e-12) {
+				t.Errorf("CDF above support = %v, want 1", got)
+			}
+			if !xmath.AlmostEqual(k.CDF(0), 0.5, 1e-12) {
+				t.Errorf("CDF(0) = %v, want 0.5 (symmetry)", k.CDF(0))
+			}
+		})
+	}
+}
+
+func TestEpanechnikovPaperValues(t *testing.T) {
+	// The constants the paper states explicitly: k₂ = 1/5 and the
+	// primitive F(t) = ¼(3t−t³) (as CDF(t) − ½).
+	e := Epanechnikov{}
+	if e.SecondMoment() != 0.2 {
+		t.Fatalf("k2 = %v, want 1/5", e.SecondMoment())
+	}
+	for _, tt := range []float64{-1, -0.5, 0, 0.25, 1} {
+		want := 0.25 * (3*tt - tt*tt*tt)
+		if got := e.CDF(tt) - 0.5; !xmath.AlmostEqual(got, want, 1e-12) {
+			t.Fatalf("F(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if k := ByName("epanechnikov"); k == nil || k.Name() != "epanechnikov" {
+		t.Fatal("ByName(epanechnikov) failed")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown kernel should return nil")
+	}
+}
+
+func TestBoundaryKernelUnitMass(t *testing.T) {
+	// ∫_{−1}^{q} K^(l)(t, q) dt = 1 for every q.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		mass := xmath.Simpson(func(x float64) float64 { return BoundaryEval(x, q) }, -1, q, 4000)
+		if !xmath.AlmostEqual(mass, 1, 1e-8) {
+			t.Fatalf("boundary kernel mass at q=%v is %v, want 1", q, mass)
+		}
+	}
+}
+
+func TestBoundaryKernelReducesToEpanechnikovAtQ1(t *testing.T) {
+	// At q = 1 the family is K(t) = (6−6t²)/8 = ¾(1−t²): Epanechnikov.
+	e := Epanechnikov{}
+	for _, x := range []float64{-0.9, -0.3, 0, 0.4, 0.99} {
+		if !xmath.AlmostEqual(BoundaryEval(x, 1), e.Eval(x), 1e-12) {
+			t.Fatalf("K^l(%v, 1) = %v, want Epanechnikov %v", x, BoundaryEval(x, 1), e.Eval(x))
+		}
+	}
+}
+
+func TestBoundaryKernelSupport(t *testing.T) {
+	if BoundaryEval(0.6, 0.5) != 0 {
+		t.Fatal("kernel must vanish above t = q")
+	}
+	if BoundaryEval(-1.01, 0.5) != 0 {
+		t.Fatal("kernel must vanish below t = −1")
+	}
+	if BoundaryEvalRight(-0.6, 0.5) != 0 {
+		t.Fatal("right kernel must vanish below t = −q")
+	}
+	if !xmath.AlmostEqual(BoundaryEvalRight(0.3, 0.5), BoundaryEval(-0.3, 0.5), 1e-15) {
+		t.Fatal("right kernel must mirror left kernel")
+	}
+}
+
+func TestBoundaryKernelClampQ(t *testing.T) {
+	// q outside [0,1] is clamped rather than producing garbage.
+	if got, want := BoundaryEval(0, -0.5), BoundaryEval(0, 0); got != want {
+		t.Fatalf("q<0 clamp: %v vs %v", got, want)
+	}
+	if got, want := BoundaryEval(0, 1.5), BoundaryEval(0, 1); got != want {
+		t.Fatalf("q>1 clamp: %v vs %v", got, want)
+	}
+}
+
+// TestBoundaryStripIntegralMatchesNumeric validates the closed-form
+// primitive against direct numeric integration of K^(l)(u−s, u) over u.
+func TestBoundaryStripIntegralMatchesNumeric(t *testing.T) {
+	cases := []struct{ s, u1, u2 float64 }{
+		{0, 0, 1},
+		{0.2, 0, 1},
+		{0.5, 0.1, 0.9},
+		{1.3, 0, 1},  // sample outside the strip but within reach
+		{1.95, 0, 1}, // barely reaches
+		{2.5, 0, 1},  // out of reach: zero
+		{0.7, 0.5, 0.6},
+	}
+	for _, c := range cases {
+		want := xmath.Simpson(func(u float64) float64 {
+			return BoundaryEval(u-c.s, u)
+		}, math.Max(math.Max(c.u1, 0), c.s-1), math.Min(c.u2, 1), 4000)
+		if math.Max(math.Max(c.u1, 0), c.s-1) >= math.Min(c.u2, 1) {
+			want = 0
+		}
+		got := BoundaryStripIntegral(c.s, c.u1, c.u2)
+		if !xmath.AlmostEqual(got, want, 1e-7) {
+			t.Fatalf("strip integral s=%v [%v,%v]: closed form %v, numeric %v", c.s, c.u1, c.u2, got, want)
+		}
+	}
+}
+
+func TestBoundaryStripIntegralEmpty(t *testing.T) {
+	if got := BoundaryStripIntegral(0.5, 0.9, 0.1); got != 0 {
+		t.Fatalf("inverted interval = %v, want 0", got)
+	}
+	if got := BoundaryStripIntegral(3, 0, 1); got != 0 {
+		t.Fatalf("unreachable sample = %v, want 0", got)
+	}
+}
+
+// Property: the strip integral is additive in the u-interval.
+func TestQuickBoundaryStripAdditive(t *testing.T) {
+	prop := func(rawS, rawM uint8) bool {
+		s := float64(rawS) / 128 // s in [0, 2)
+		m := float64(rawM) / 255 // split point in [0, 1]
+		whole := BoundaryStripIntegral(s, 0, 1)
+		parts := BoundaryStripIntegral(s, 0, m) + BoundaryStripIntegral(s, m, 1)
+		return xmath.AlmostEqual(whole, parts, 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDFs are monotone for all kernels.
+func TestQuickKernelCDFMonotone(t *testing.T) {
+	for _, k := range All() {
+		if k.Name() == "gaussian" {
+			continue // trivially monotone; erfc-based
+		}
+		k := k
+		prop := func(raw int8) bool {
+			x := float64(raw) / 100
+			return k.CDF(x) <= k.CDF(x+0.01)+1e-15
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+	}
+}

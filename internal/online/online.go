@@ -1,0 +1,186 @@
+// Package online maintains a selectivity estimator over a live stream of
+// records — the infrastructure behind the paper's second future-work item
+// (applying kernel estimators to online aggregate processing).
+//
+// An Estimator owns a reservoir sample of the stream and a fitted base
+// estimator built from it. Refits happen on a configurable cadence and,
+// independently, whenever a two-sample Kolmogorov–Smirnov test says the
+// reservoir has drifted away from the sample the current fit was built
+// on. Between refits, queries are answered by the existing fit, so the
+// insert path stays O(1) amortised.
+package online
+
+import (
+	"fmt"
+	"sync"
+
+	"selest/internal/sample"
+	"selest/internal/stats"
+	"selest/internal/xrand"
+)
+
+// Fitted is the estimator surface a fit must provide.
+type Fitted interface {
+	Selectivity(a, b float64) float64
+	Name() string
+}
+
+// Builder constructs a fresh estimator from the current sample.
+type Builder func(samples []float64) (Fitted, error)
+
+// Config parameterises an online estimator.
+type Config struct {
+	// ReservoirSize is the maintained sample size. Zero defaults to 2000
+	// (the paper's sample size).
+	ReservoirSize int
+	// RefitEvery triggers a refit after this many inserts. Zero defaults
+	// to 10× the reservoir size; negative disables cadence-based refits.
+	RefitEvery int
+	// DriftAlpha, when positive, enables KS drift detection at the given
+	// significance level: every DriftCheckEvery inserts the reservoir is
+	// compared against the sample behind the current fit and a refit is
+	// forced when the KS statistic exceeds the critical value.
+	DriftAlpha float64
+	// DriftCheckEvery is the cadence of drift checks. Zero defaults to
+	// the reservoir size.
+	DriftCheckEvery int
+	// Seed drives the reservoir's RNG.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.ReservoirSize == 0 {
+		c.ReservoirSize = 2000
+	}
+	if c.RefitEvery == 0 {
+		c.RefitEvery = 10 * c.ReservoirSize
+	}
+	if c.DriftCheckEvery == 0 {
+		c.DriftCheckEvery = c.ReservoirSize
+	}
+}
+
+// Estimator is a self-maintaining online selectivity estimator. It is
+// safe for concurrent use.
+type Estimator struct {
+	build Builder
+	cfg   Config
+
+	mu         sync.RWMutex
+	reservoir  *sample.Reservoir
+	fit        Fitted
+	fitSample  []float64 // the sample the current fit was built from
+	sinceRefit int
+	sinceCheck int
+	refits     int
+	inserts    int
+}
+
+// New returns an online estimator that fits with build. The estimator
+// answers 0 for every query until the first record arrives.
+func New(build Builder, cfg Config) (*Estimator, error) {
+	if build == nil {
+		return nil, fmt.Errorf("online: nil builder")
+	}
+	cfg.applyDefaults()
+	if cfg.ReservoirSize < 2 {
+		return nil, fmt.Errorf("online: reservoir size %d too small", cfg.ReservoirSize)
+	}
+	if cfg.DriftAlpha < 0 || cfg.DriftAlpha >= 1 {
+		return nil, fmt.Errorf("online: drift alpha %v outside [0, 1)", cfg.DriftAlpha)
+	}
+	return &Estimator{
+		build:     build,
+		cfg:       cfg,
+		reservoir: sample.NewReservoir(xrand.New(cfg.Seed), cfg.ReservoirSize),
+	}, nil
+}
+
+// Insert offers one stream record, refitting when the cadence or the
+// drift detector says so. The first refit happens once the reservoir is
+// full (or at the first cadence boundary for short streams).
+func (e *Estimator) Insert(v float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reservoir.Add(v)
+	e.inserts++
+	e.sinceRefit++
+	e.sinceCheck++
+
+	switch {
+	case e.fit == nil && e.reservoir.Len() >= e.cfg.ReservoirSize:
+		return e.refitLocked()
+	case e.fit != nil && e.cfg.RefitEvery > 0 && e.sinceRefit >= e.cfg.RefitEvery:
+		return e.refitLocked()
+	case e.fit != nil && e.cfg.DriftAlpha > 0 && e.sinceCheck >= e.cfg.DriftCheckEvery:
+		e.sinceCheck = 0
+		current := e.reservoir.Sample()
+		d := stats.KolmogorovSmirnov(e.fitSample, current)
+		if d > stats.KSCriticalValue(e.cfg.DriftAlpha, len(e.fitSample), len(current)) {
+			return e.refitLocked()
+		}
+	}
+	return nil
+}
+
+// Flush forces a refit from the current reservoir (e.g. before a batch of
+// optimisation decisions, or at end of stream for short streams that
+// never filled the reservoir).
+func (e *Estimator) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.reservoir.Len() == 0 {
+		return fmt.Errorf("online: no records to fit")
+	}
+	return e.refitLocked()
+}
+
+// refitLocked rebuilds the fit; the caller holds mu.
+func (e *Estimator) refitLocked() error {
+	smp := e.reservoir.Sample()
+	fit, err := e.build(smp)
+	if err != nil {
+		return fmt.Errorf("online: refit: %w", err)
+	}
+	e.fit = fit
+	e.fitSample = smp
+	e.sinceRefit = 0
+	e.sinceCheck = 0
+	e.refits++
+	return nil
+}
+
+// Selectivity answers from the current fit; 0 before the first fit.
+func (e *Estimator) Selectivity(a, b float64) float64 {
+	e.mu.RLock()
+	fit := e.fit
+	e.mu.RUnlock()
+	if fit == nil {
+		return 0
+	}
+	return fit.Selectivity(a, b)
+}
+
+// Refits returns how many times the estimator has been rebuilt.
+func (e *Estimator) Refits() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.refits
+}
+
+// Inserts returns how many records have been offered.
+func (e *Estimator) Inserts() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.inserts
+}
+
+// Name identifies the estimator in experiment output.
+func (e *Estimator) Name() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.fit == nil {
+		return "online(unfitted)"
+	}
+	return "online(" + e.fit.Name() + ")"
+}

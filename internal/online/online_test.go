@@ -1,0 +1,235 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/core"
+	"selest/internal/kde"
+	"selest/internal/xrand"
+)
+
+// kernelBuilder fits the paper's recommended kernel estimator (boundary
+// kernels) over [0, 1000].
+func kernelBuilder(samples []float64) (Fitted, error) {
+	return core.Build(samples, core.Options{
+		Method: core.Kernel, Boundary: kde.BoundaryKernels,
+		DomainLo: 0, DomainHi: 1000,
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil builder should error")
+	}
+	if _, err := New(kernelBuilder, Config{ReservoirSize: 1}); err == nil {
+		t.Fatal("tiny reservoir should error")
+	}
+	if _, err := New(kernelBuilder, Config{DriftAlpha: 1.5}); err == nil {
+		t.Fatal("bad alpha should error")
+	}
+}
+
+func TestUnfittedAnswersZero(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Selectivity(0, 1000) != 0 {
+		t.Fatal("unfitted estimator should answer 0")
+	}
+	if e.Name() != "online(unfitted)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+func TestFitsWhenReservoirFills(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	for i := 0; i < 99; i++ {
+		if err := e.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Refits() != 0 {
+		t.Fatal("fitted before the reservoir filled")
+	}
+	if err := e.Insert(500); err != nil {
+		t.Fatal(err)
+	}
+	if e.Refits() != 1 {
+		t.Fatalf("Refits = %d after fill", e.Refits())
+	}
+	if s := e.Selectivity(0, 1000); math.Abs(s-1) > 0.05 {
+		t.Fatalf("whole-domain σ̂ = %v", s)
+	}
+	if e.Name() == "online(unfitted)" {
+		t.Fatal("Name should include the fit")
+	}
+}
+
+func TestCadenceRefits(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 50, RefitEvery: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		if err := e.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill refit at 50 inserts, then every 100: 1 + floor((1000-50)/100).
+	if e.Refits() < 8 || e.Refits() > 12 {
+		t.Fatalf("Refits = %d, want ~10", e.Refits())
+	}
+	if e.Inserts() != 1000 {
+		t.Fatalf("Inserts = %d", e.Inserts())
+	}
+}
+
+func TestDriftTriggersRefit(t *testing.T) {
+	// Cadence disabled; only drift detection may refit.
+	e, err := New(kernelBuilder, Config{
+		ReservoirSize: 200, RefitEvery: -1,
+		DriftAlpha: 0.01, DriftCheckEvery: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(6)
+	// Phase 1: uniform on [0, 500].
+	for i := 0; i < 2000; i++ {
+		if err := e.Insert(r.Float64() * 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	afterPhase1 := e.Refits()
+	if afterPhase1 < 1 {
+		t.Fatal("no initial fit")
+	}
+	// Phase 2: distribution jumps to [500, 1000] — drift must fire.
+	for i := 0; i < 4000; i++ {
+		if err := e.Insert(500 + r.Float64()*500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Refits() <= afterPhase1 {
+		t.Fatalf("drift did not trigger a refit (refits %d)", e.Refits())
+	}
+	// The drift refit fires early in phase 2 while the reservoir is still
+	// mostly old data, so force one final fit and check the estimate now
+	// reflects the stream mix (4000 of 6000 records in [500, 1000]).
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if hi := e.Selectivity(500, 1000); math.Abs(hi-2.0/3.0) > 0.12 {
+		t.Fatalf("post-drift σ̂(500,1000) = %v, want ~2/3", hi)
+	}
+}
+
+func TestNoDriftNoExtraRefits(t *testing.T) {
+	e, err := New(kernelBuilder, Config{
+		ReservoirSize: 200, RefitEvery: -1,
+		DriftAlpha: 0.001, DriftCheckEvery: 100, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(8)
+	for i := 0; i < 10000; i++ {
+		if err := e.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stationary stream should produce the initial fit and (almost) no
+	// drift refits at alpha = 0.1%.
+	if e.Refits() > 3 {
+		t.Fatalf("stationary stream caused %d refits", e.Refits())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err == nil {
+		t.Fatal("flush of empty estimator should error")
+	}
+	r := xrand.New(10)
+	for i := 0; i < 50; i++ { // far below the reservoir size
+		if err := e.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Refits() != 0 {
+		t.Fatal("should not have fitted yet")
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Refits() != 1 || e.Selectivity(0, 1000) == 0 {
+		t.Fatal("flush did not fit")
+	}
+}
+
+func TestBuilderErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	e, err := New(func([]float64) (Fitted, error) { return nil, boom }, Config{ReservoirSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(11)
+	var sawErr bool
+	for i := 0; i < 10; i++ {
+		if err := e.Insert(r.Float64()); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("builder error swallowed")
+	}
+}
+
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 100, RefitEvery: 500, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 5000; i++ {
+				if err := e.Insert(r.Float64() * 1000); err != nil {
+					panic(err)
+				}
+			}
+		}(uint64(g))
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed + 50)
+			for i := 0; i < 5000; i++ {
+				a := r.Float64() * 900
+				if s := e.Selectivity(a, a+100); s < 0 || s > 1 {
+					panic("selectivity out of range")
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if e.Inserts() != 20000 {
+		t.Fatalf("Inserts = %d", e.Inserts())
+	}
+}

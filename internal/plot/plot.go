@@ -1,0 +1,205 @@
+// Package plot renders data series as ASCII charts for terminal output.
+// The experiments command uses it to draw the paper's figures — error
+// curves over bins/positions/sample sizes — directly in the report text,
+// so a reproduction run is visually comparable with the paper without
+// leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Config controls chart geometry.
+type Config struct {
+	// Width and Height are the plot-area dimensions in characters.
+	// Zero defaults to 72×20.
+	Width, Height int
+	// LogX plots the x axis on a log scale (bins/sample-size sweeps).
+	LogX bool
+	// YLabel annotates the y axis.
+	YLabel string
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+func (c *Config) applyDefaults() {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	if c.Width < 16 {
+		c.Width = 16
+	}
+	if c.Height < 4 {
+		c.Height = 4
+	}
+}
+
+// markers distinguish up to eight overlaid series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into one chart. Series points with non-finite
+// coordinates are skipped. An empty input yields a note instead of a
+// chart.
+func Render(series []Series, cfg Config) string {
+	cfg.applyDefaults()
+	// Collect finite points and global ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if cfg.LogX && x <= 0 {
+				continue
+			}
+			usable++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if usable == 0 {
+		return "(no plottable points)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	xpos := func(x float64) int {
+		t := 0.0
+		if cfg.LogX {
+			t = (math.Log(x) - math.Log(minX)) / (math.Log(maxX) - math.Log(minX))
+		} else {
+			t = (x - minX) / (maxX - minX)
+		}
+		i := int(math.Round(t * float64(cfg.Width-1)))
+		return clampInt(i, 0, cfg.Width-1)
+	}
+	ypos := func(y float64) int {
+		t := (y - minY) / (maxY - minY)
+		i := int(math.Round(t * float64(cfg.Height-1)))
+		return clampInt(cfg.Height-1-i, 0, cfg.Height-1) // row 0 at the top
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		var prevC, prevR int
+		havePrev := false
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) || (cfg.LogX && x <= 0) {
+				havePrev = false
+				continue
+			}
+			col, row := xpos(x), ypos(y)
+			// Connect consecutive points with a sparse line so curves
+			// read as curves, not scatter.
+			if havePrev {
+				drawLine(grid, prevC, prevR, col, row, '.')
+			}
+			grid[row][col] = mark
+			prevC, prevR, havePrev = col, row, true
+		}
+	}
+
+	var b strings.Builder
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.YLabel)
+	}
+	for r, rowBytes := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%11.4g |%s\n", maxY, rowBytes)
+		case cfg.Height - 1:
+			fmt.Fprintf(&b, "%11.4g |%s\n", minY, rowBytes)
+		default:
+			fmt.Fprintf(&b, "%11s |%s\n", "", rowBytes)
+		}
+	}
+	fmt.Fprintf(&b, "%11s +%s\n", "", strings.Repeat("-", cfg.Width))
+	scale := "linear"
+	if cfg.LogX {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "%11s  %-*.4g%*.4g  (x: %s", "", cfg.Width/2, minX, cfg.Width/2-1, maxX, scale)
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, ", %s", cfg.XLabel)
+	}
+	b.WriteString(")\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%11s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// drawLine writes a sparse Bresenham segment with ch, not overwriting
+// existing non-space cells.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	dc := abs(c1 - c0)
+	dr := abs(r1 - r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc - dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 > -dr {
+			err -= dr
+			c += sc
+		}
+		if e2 < dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

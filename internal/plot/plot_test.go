@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) (float64, float64)) Series {
+	s := Series{Name: "test"}
+	for i := 0; i < n; i++ {
+		x, y := f(i)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+func TestRenderBasic(t *testing.T) {
+	s := line(20, func(i int) (float64, float64) { return float64(i), float64(i * i) })
+	out := Render([]Series{s}, Config{})
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data markers in output")
+	}
+	if !strings.Contains(out, "test") {
+		t.Fatal("no legend in output")
+	}
+	if !strings.Contains(out, "361") {
+		t.Fatalf("max y label missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Config{}); !strings.Contains(out, "no plottable points") {
+		t.Fatalf("empty input: %q", out)
+	}
+	s := Series{Name: "nan", X: []float64{1, 2}, Y: []float64{math.NaN(), math.Inf(1)}}
+	if out := Render([]Series{s}, Config{}); !strings.Contains(out, "no plottable points") {
+		t.Fatalf("all-NaN input: %q", out)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	s := Series{Name: "gap", X: []float64{0, 1, 2, 3}, Y: []float64{1, math.NaN(), 3, 4}}
+	out := Render([]Series{s}, Config{})
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into output")
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	s := line(5, func(i int) (float64, float64) { return math.Pow(10, float64(i)), float64(i) })
+	out := Render([]Series{s}, Config{LogX: true})
+	if !strings.Contains(out, "log") {
+		t.Fatal("log scale not annotated")
+	}
+	// Non-positive x is skipped rather than crashing the log transform.
+	s2 := Series{Name: "bad", X: []float64{-1, 0, 10, 100}, Y: []float64{1, 2, 3, 4}}
+	out2 := Render([]Series{s2}, Config{LogX: true})
+	if !strings.Contains(out2, "*") {
+		t.Fatal("positive points should still render")
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	a := line(10, func(i int) (float64, float64) { return float64(i), float64(i) })
+	a.Name = "up"
+	b := line(10, func(i int) (float64, float64) { return float64(i), float64(9 - i) })
+	b.Name = "down"
+	out := Render([]Series{a, b}, Config{})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("legend incomplete")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := line(5, func(i int) (float64, float64) { return float64(i), 7 })
+	out := Render([]Series{s}, Config{})
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatal("constant series should render")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := Series{Name: "pt", X: []float64{5}, Y: []float64{5}}
+	out := Render([]Series{s}, Config{})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point should render")
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	s := line(3, func(i int) (float64, float64) { return float64(i), float64(i) })
+	out := Render([]Series{s}, Config{Width: 1, Height: 1})
+	if out == "" {
+		t.Fatal("degenerate config should still render")
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if len(l) > 140 {
+			t.Fatalf("line too long after clamp: %d", len(l))
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	s := line(3, func(i int) (float64, float64) { return float64(i), float64(i) })
+	out := Render([]Series{s}, Config{XLabel: "bins", YLabel: "MRE"})
+	if !strings.Contains(out, "bins") || !strings.Contains(out, "MRE") {
+		t.Fatal("labels missing")
+	}
+}

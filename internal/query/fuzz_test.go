@@ -1,0 +1,43 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the workload loader.
+func FuzzLoad(f *testing.F) {
+	w := &Workload{
+		Queries:    []Query{{A: 1, B: 2}, {A: 3, B: 4}},
+		TrueCounts: []int{10, 20},
+		SizeFrac:   0.01,
+		N:          100,
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SELQ"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted workloads must satisfy the structural invariants Load
+		// promises.
+		if len(loaded.Queries) != len(loaded.TrueCounts) {
+			t.Fatal("accepted workload with mismatched slices")
+		}
+		for i, q := range loaded.Queries {
+			if q.B < q.A {
+				t.Fatalf("accepted inverted query %d", i)
+			}
+			if loaded.TrueCounts[i] < 0 {
+				t.Fatalf("accepted negative count %d", i)
+			}
+		}
+	})
+}

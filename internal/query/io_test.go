@@ -1,0 +1,94 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+func TestWorkloadSaveLoadRoundTrip(t *testing.T) {
+	recs := uniformRecords(5000, 1000, 20)
+	w, err := Generate(recs, 0, 1000, 0.05, 200, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != w.N || g.SizeFrac != w.SizeFrac || len(g.Queries) != len(w.Queries) {
+		t.Fatalf("metadata mismatch: %+v", g)
+	}
+	for i := range w.Queries {
+		if g.Queries[i] != w.Queries[i] || g.TrueCounts[i] != w.TrueCounts[i] {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	recs := uniformRecords(1000, 100, 22)
+	w, err := Generate(recs, 0, 100, 0.1, 50, xrand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/q.selq"
+	if err := w.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Queries) != 50 {
+		t.Fatalf("loaded %d queries", len(g.Queries))
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestWorkloadLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a query file"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	var buf bytes.Buffer
+	buf.Write(queryMagic[:])
+	buf.Write([]byte{7, 0}) // bad version
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("bad version should fail")
+	}
+	// Truncated body.
+	buf.Reset()
+	buf.Write(queryMagic[:])
+	buf.Write([]byte{1, 0})
+	buf.Write(make([]byte, 10)) // not enough for the header
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+}
+
+func TestWorkloadLoadRejectsInvalidQueries(t *testing.T) {
+	// Craft a file whose single query is inverted.
+	w := &Workload{
+		Queries:    []Query{{A: 10, B: 5}},
+		TrueCounts: []int{1},
+		SizeFrac:   0.01,
+		N:          100,
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("inverted query should fail validation on load")
+	}
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+func uniformRecords(n int, hi float64, seed uint64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Floor(r.Float64() * hi)
+	}
+	return out
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := xrand.New(1)
+	recs := uniformRecords(100, 1000, 1)
+	if _, err := Generate(nil, 0, 1000, 0.01, 10, r); err == nil {
+		t.Fatal("no records should error")
+	}
+	if _, err := Generate(recs, 5, 5, 0.01, 10, r); err == nil {
+		t.Fatal("empty domain should error")
+	}
+	if _, err := Generate(recs, 0, 1000, 0, 10, r); err == nil {
+		t.Fatal("zero size should error")
+	}
+	if _, err := Generate(recs, 0, 1000, 1.5, 10, r); err == nil {
+		t.Fatal("size >= 1 should error")
+	}
+	if _, err := Generate(recs, 0, 1000, 0.01, 0, r); err == nil {
+		t.Fatal("zero count should error")
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	recs := uniformRecords(10000, 1000, 2)
+	w, err := Generate(recs, 0, 1000, 0.05, 500, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 500 || len(w.TrueCounts) != 500 {
+		t.Fatalf("workload sizes: %d/%d", len(w.Queries), len(w.TrueCounts))
+	}
+	if w.N != 10000 || w.SizeFrac != 0.05 {
+		t.Fatalf("metadata: N=%d size=%v", w.N, w.SizeFrac)
+	}
+	for i, q := range w.Queries {
+		if q.A < 0 || q.B > 1000 {
+			t.Fatalf("query %d outside domain: %+v", i, q)
+		}
+		if math.Abs(q.Width()-50) > 1e-9 {
+			t.Fatalf("query %d width %v, want 50", i, q.Width())
+		}
+	}
+}
+
+func TestGenerateGroundTruthExact(t *testing.T) {
+	recs := uniformRecords(5000, 100, 4)
+	w, err := Generate(recs, 0, 100, 0.1, 50, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range w.Queries {
+		want := 0
+		for _, v := range recs {
+			if v >= q.A && v <= q.B {
+				want++
+			}
+		}
+		if w.TrueCounts[i] != want {
+			t.Fatalf("query %d: TrueCounts=%d scan=%d", i, w.TrueCounts[i], want)
+		}
+		if got := w.TrueSelectivity(i); got != float64(want)/5000 {
+			t.Fatalf("TrueSelectivity mismatch at %d", i)
+		}
+	}
+}
+
+func TestGeneratePositionsFollowData(t *testing.T) {
+	// Records concentrated at the left: query centres must concentrate
+	// there too.
+	r := xrand.New(6)
+	recs := make([]float64, 10000)
+	for i := range recs {
+		recs[i] = math.Floor(r.Exponential(1.0/50) + 100) // bulk in [100, ~400]
+	}
+	w, err := Generate(recs, 0, 1000, 0.01, 1000, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := 0
+	for _, q := range w.Queries {
+		if q.A+q.Width()/2 < 500 {
+			left++
+		}
+	}
+	if left < 900 {
+		t.Fatalf("only %d/1000 queries in the data-dense half", left)
+	}
+}
+
+func TestGenerateRejectsUnplaceable(t *testing.T) {
+	// All records hug the left boundary; 50%-width queries centred there
+	// always stick out, so generation must fail instead of spinning.
+	recs := []float64{0, 1, 2}
+	if _, err := Generate(recs, 0, 1000, 0.5, 10, xrand.New(8)); err == nil {
+		t.Fatal("unplaceable workload should error")
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	recs := uniformRecords(10000, 1000, 9)
+	ws, err := GenerateAll(recs, 0, 1000, 100, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != len(StandardSizes) {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	for _, s := range StandardSizes {
+		w, ok := ws[s]
+		if !ok {
+			t.Fatalf("missing size %v", s)
+		}
+		if len(w.Queries) != 100 {
+			t.Fatalf("size %v: %d queries", s, len(w.Queries))
+		}
+	}
+}
+
+func TestPositionSweep(t *testing.T) {
+	recs := uniformRecords(10000, 1000, 11)
+	w, err := PositionSweep(recs, 0, 1000, 0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 100 {
+		t.Fatalf("%d queries", len(w.Queries))
+	}
+	if w.Queries[0].A != 0 {
+		t.Fatalf("first query at %v, want 0", w.Queries[0].A)
+	}
+	last := w.Queries[len(w.Queries)-1]
+	if math.Abs(last.B-1000) > 1e-9 {
+		t.Fatalf("last query ends at %v, want 1000", last.B)
+	}
+	// Monotone positions.
+	for i := 1; i < len(w.Queries); i++ {
+		if w.Queries[i].A <= w.Queries[i-1].A {
+			t.Fatal("sweep positions not increasing")
+		}
+	}
+}
+
+func TestPositionSweepValidation(t *testing.T) {
+	recs := uniformRecords(10, 10, 12)
+	if _, err := PositionSweep(nil, 0, 10, 0.1, 10); err == nil {
+		t.Fatal("no records should error")
+	}
+	if _, err := PositionSweep(recs, 0, 10, 0, 10); err == nil {
+		t.Fatal("zero size should error")
+	}
+	if _, err := PositionSweep(recs, 0, 10, 0.1, 1); err == nil {
+		t.Fatal("single step should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	recs := uniformRecords(1000, 100, 13)
+	w1, err := Generate(recs, 0, 100, 0.05, 50, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(recs, 0, 100, 0.05, 50, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i] != w2.Queries[i] {
+			t.Fatalf("queries differ at %d", i)
+		}
+	}
+}

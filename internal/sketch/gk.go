@@ -1,0 +1,184 @@
+// Package sketch provides streaming summaries: the Greenwald–Khanna
+// ε-approximate quantile sketch and a streaming equi-depth histogram
+// built on it. Together they let a system maintain the paper's equi-depth
+// estimator over an insert stream in sublinear memory, instead of
+// resampling the table — the practical deployment mode of
+// histogram statistics in a database engine.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// gkEntry is one tuple of the GK summary: value v, g = rmin(v) − rmin(prev),
+// and delta = rmax(v) − rmin(v).
+type gkEntry struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// GK is a Greenwald–Khanna quantile sketch with additive rank error
+// ε·n. Memory is O((1/ε)·log(ε·n)). The zero value is unusable; construct
+// with NewGK. GK is not safe for concurrent use; wrap it externally.
+type GK struct {
+	eps     float64
+	entries []gkEntry
+	n       int64
+	// buffer batches inserts; merging sorted batches amortises the
+	// insertion cost.
+	buffer []float64
+}
+
+// NewGK returns a sketch with rank error ε ∈ (0, 0.5).
+func NewGK(eps float64) (*GK, error) {
+	if !(eps > 0 && eps < 0.5) {
+		return nil, fmt.Errorf("sketch: epsilon %v outside (0, 0.5)", eps)
+	}
+	return &GK{eps: eps}, nil
+}
+
+// Insert adds one value to the sketch.
+func (g *GK) Insert(v float64) {
+	if math.IsNaN(v) {
+		return // NaN has no rank on a metric domain
+	}
+	g.buffer = append(g.buffer, v)
+	if len(g.buffer) >= g.bufferCap() {
+		g.flush()
+	}
+}
+
+// bufferCap keeps the buffer proportional to the summary's natural block
+// size 1/(2ε).
+func (g *GK) bufferCap() int {
+	c := int(1 / (2 * g.eps))
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// flush merges the buffered values into the summary.
+func (g *GK) flush() {
+	if len(g.buffer) == 0 {
+		return
+	}
+	sort.Float64s(g.buffer)
+	merged := make([]gkEntry, 0, len(g.entries)+len(g.buffer))
+	bi := 0
+	for _, e := range g.entries {
+		for bi < len(g.buffer) && g.buffer[bi] <= e.v {
+			merged = append(merged, g.newEntry(g.buffer[bi], len(merged) == 0, false))
+			bi++
+		}
+		merged = append(merged, e)
+	}
+	for bi < len(g.buffer) {
+		merged = append(merged, g.newEntry(g.buffer[bi], len(merged) == 0, bi == len(g.buffer)-1))
+		bi++
+	}
+	g.entries = merged
+	g.n += int64(len(g.buffer))
+	g.buffer = g.buffer[:0]
+	g.compress()
+}
+
+// newEntry builds the tuple for a freshly inserted value. First/last
+// elements carry delta = 0 by the GK invariant; interior insertions carry
+// delta = ⌊2εn⌋.
+func (g *GK) newEntry(v float64, first, last bool) gkEntry {
+	delta := int64(2 * g.eps * float64(g.n))
+	if first || last || g.n == 0 {
+		delta = 0
+	}
+	return gkEntry{v: v, g: 1, delta: delta}
+}
+
+// compress merges adjacent tuples whose combined uncertainty stays within
+// the 2εn budget.
+func (g *GK) compress() {
+	if len(g.entries) < 3 {
+		return
+	}
+	budget := int64(2 * g.eps * float64(g.n))
+	out := g.entries[:0]
+	out = append(out, g.entries[0])
+	for i := 1; i < len(g.entries)-1; i++ {
+		e := g.entries[i]
+		next := g.entries[i+1]
+		if e.g+next.g+next.delta <= budget {
+			// Merge e into its successor.
+			g.entries[i+1].g += e.g
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, g.entries[len(g.entries)-1])
+	g.entries = out
+}
+
+// Count returns the number of inserted values.
+func (g *GK) Count() int64 {
+	return g.n + int64(len(g.buffer))
+}
+
+// Summary returns the number of stored tuples (after flushing), for
+// memory diagnostics.
+func (g *GK) Summary() int {
+	g.flush()
+	return len(g.entries)
+}
+
+// Quantile returns an ε-approximate p-quantile: a value whose rank is
+// within ε·n of ⌈p·n⌉. It returns NaN on an empty sketch.
+func (g *GK) Quantile(p float64) float64 {
+	g.flush()
+	if g.n == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(g.n)))
+	if target < 1 {
+		target = 1
+	}
+	budget := int64(g.eps * float64(g.n))
+	var rmin int64
+	for i, e := range g.entries {
+		rmin += e.g
+		rmax := rmin + e.delta
+		if target-rmin <= budget && rmax-target <= budget {
+			return e.v
+		}
+		if i == len(g.entries)-1 {
+			break
+		}
+	}
+	return g.entries[len(g.entries)-1].v
+}
+
+// Rank returns the ε-approximate rank of v: the estimated number of
+// inserted values <= v.
+func (g *GK) Rank(v float64) int64 {
+	g.flush()
+	if g.n == 0 {
+		return 0
+	}
+	var rmin int64
+	for _, e := range g.entries {
+		if e.v > v {
+			// v falls before this entry: the best estimate is the
+			// midpoint of the previous entry's rank range.
+			return rmin
+		}
+		rmin += e.g
+	}
+	return g.n
+}

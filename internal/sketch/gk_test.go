@@ -1,0 +1,240 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selest/internal/xrand"
+)
+
+func TestNewGKValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 0.5, 1} {
+		if _, err := NewGK(eps); err == nil {
+			t.Fatalf("eps=%v should error", eps)
+		}
+	}
+}
+
+func TestGKEmpty(t *testing.T) {
+	g, err := NewGK(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(g.Quantile(0.5)) {
+		t.Fatal("empty sketch quantile should be NaN")
+	}
+	if g.Count() != 0 || g.Rank(5) != 0 {
+		t.Fatal("empty sketch counts wrong")
+	}
+}
+
+func TestGKExactOnSmallInput(t *testing.T) {
+	g, err := NewGK(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		g.Insert(float64(i))
+	}
+	if g.Count() != 10 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+	if q := g.Quantile(0.5); q < 4 || q > 6 {
+		t.Fatalf("median = %v, want ~5", q)
+	}
+	if q := g.Quantile(0); q != 1 {
+		t.Fatalf("min = %v", q)
+	}
+	if q := g.Quantile(1); q != 10 {
+		t.Fatalf("max = %v", q)
+	}
+}
+
+func TestGKRankErrorBound(t *testing.T) {
+	const (
+		eps = 0.01
+		n   = 200000
+	)
+	g, err := NewGK(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64() * 1e6
+		g.Insert(values[i])
+	}
+	sort.Float64s(values)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		q := g.Quantile(p)
+		// True rank of the returned value.
+		rank := sort.SearchFloat64s(values, q)
+		err := math.Abs(float64(rank)/n - p)
+		if err > 2*eps {
+			t.Fatalf("quantile %v: returned value has rank error %v > 2ε", p, err)
+		}
+	}
+}
+
+func TestGKMemorySublinear(t *testing.T) {
+	g, err := NewGK(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	for i := 0; i < 100000; i++ {
+		g.Insert(r.Float64())
+	}
+	if s := g.Summary(); s > 4000 {
+		t.Fatalf("summary holds %d tuples for 100k inserts at ε=0.01; not compressing", s)
+	}
+}
+
+func TestGKRank(t *testing.T) {
+	g, err := NewGK(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		g.Insert(float64(i))
+	}
+	for _, v := range []float64{100, 500, 900} {
+		rank := g.Rank(v)
+		if math.Abs(float64(rank)-v) > 0.02*1000 {
+			t.Fatalf("Rank(%v) = %d", v, rank)
+		}
+	}
+	if g.Rank(0) != 0 {
+		t.Fatalf("Rank below min = %d", g.Rank(0))
+	}
+	if g.Rank(2000) != 1000 {
+		t.Fatalf("Rank above max = %d", g.Rank(2000))
+	}
+}
+
+func TestGKSkipsNaN(t *testing.T) {
+	g, err := NewGK(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(math.NaN())
+	g.Insert(1)
+	if g.Count() != 1 {
+		t.Fatalf("Count = %d, NaN should be skipped", g.Count())
+	}
+}
+
+func TestGKSortedAndReversedStreams(t *testing.T) {
+	// Adversarial insert orders must stay within the error bound.
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(100000 - i) },
+	} {
+		g, err := NewGK(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100000
+		for i := 0; i < n; i++ {
+			g.Insert(gen(i))
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			q := g.Quantile(p)
+			if math.Abs(q/n-p) > 0.02 {
+				t.Fatalf("%s: quantile %v = %v", name, p, q)
+			}
+		}
+	}
+}
+
+func TestEquiDepthFromSketch(t *testing.T) {
+	g, err := NewGK(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	for i := 0; i < 100000; i++ {
+		g.Insert(r.Float64() * 1000)
+	}
+	ed, err := EquiDepthFromSketch(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.Bins() < 15 || ed.Bins() > 20 {
+		t.Fatalf("Bins = %d", ed.Bins())
+	}
+	if ed.Name() != "equi-depth(sketch)" {
+		t.Fatalf("Name = %q", ed.Name())
+	}
+	// Uniform stream: selectivity ≈ width fraction.
+	for _, q := range [][2]float64{{0, 100}, {250, 500}, {900, 1000}} {
+		want := (q[1] - q[0]) / 1000
+		got := ed.Selectivity(q[0], q[1])
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("σ̂(%v,%v) = %v, want ~%v", q[0], q[1], got, want)
+		}
+	}
+	if ed.Selectivity(5, 2) != 0 {
+		t.Fatal("inverted query should be 0")
+	}
+}
+
+func TestEquiDepthFromSketchSkewed(t *testing.T) {
+	g, err := NewGK(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(4)
+	for i := 0; i < 100000; i++ {
+		g.Insert(r.Exponential(0.01)) // mean 100, long tail
+	}
+	ed, err := EquiDepthFromSketch(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(X <= 100) = 1 − e^{−1} ≈ 0.632.
+	got := ed.Selectivity(0, 100)
+	if math.Abs(got-0.632) > 0.05 {
+		t.Fatalf("σ̂(0,100) = %v, want ~0.632", got)
+	}
+}
+
+func TestEquiDepthValidation(t *testing.T) {
+	g, _ := NewGK(0.01)
+	if _, err := EquiDepthFromSketch(g, 10); err == nil {
+		t.Fatal("empty sketch should error")
+	}
+	g.Insert(5)
+	if _, err := EquiDepthFromSketch(g, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	// Constant stream: degenerate quantiles.
+	for i := 0; i < 100; i++ {
+		g.Insert(5)
+	}
+	if _, err := EquiDepthFromSketch(g, 10); err == nil {
+		t.Fatal("constant stream should error")
+	}
+}
+
+// Property: quantiles are monotone in p.
+func TestQuickGKQuantileMonotone(t *testing.T) {
+	g, err := NewGK(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(5)
+	for i := 0; i < 20000; i++ {
+		g.Insert(r.Normal() * 100)
+	}
+	prop := func(raw uint8) bool {
+		p := float64(raw) / 260
+		return g.Quantile(p) <= g.Quantile(p+0.02)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

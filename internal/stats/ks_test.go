@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(xs, xs); d != 0 {
+		t.Fatalf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 11, 12}
+	if d := KolmogorovSmirnov(xs, ys); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// xs = {1, 3}, ys = {2, 4}: after value 1, F1=0.5, F2=0 → D = 0.5.
+	xs := []float64{1, 3}
+	ys := []float64{2, 4}
+	if d := KolmogorovSmirnov(xs, ys); d != 0.5 {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	r := xrand.New(1)
+	xs := make([]float64, 100)
+	ys := make([]float64, 150)
+	for i := range xs {
+		xs[i] = r.Normal()
+	}
+	for i := range ys {
+		ys[i] = r.Normal() + 0.3
+	}
+	if d1, d2 := KolmogorovSmirnov(xs, ys), KolmogorovSmirnov(ys, xs); d1 != d2 {
+		t.Fatalf("KS not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if !math.IsNaN(KolmogorovSmirnov(nil, []float64{1})) {
+		t.Fatal("empty sample should give NaN")
+	}
+}
+
+func TestKSDetectsShift(t *testing.T) {
+	r := xrand.New(2)
+	const n = 500
+	same1 := make([]float64, n)
+	same2 := make([]float64, n)
+	shifted := make([]float64, n)
+	for i := 0; i < n; i++ {
+		same1[i] = r.Normal()
+		same2[i] = r.Normal()
+		shifted[i] = r.Normal() + 1
+	}
+	crit := KSCriticalValue(0.01, n, n)
+	if d := KolmogorovSmirnov(same1, same2); d > crit {
+		t.Fatalf("same-distribution KS %v above critical %v", d, crit)
+	}
+	if d := KolmogorovSmirnov(same1, shifted); d <= crit {
+		t.Fatalf("shifted-distribution KS %v below critical %v", d, crit)
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// For alpha=0.05, n=m=100: c(0.05) = 1.358…, scale = √(200/10000).
+	got := KSCriticalValue(0.05, 100, 100)
+	want := 1.3581015157406195 * math.Sqrt(0.02)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("critical value = %v, want %v", got, want)
+	}
+	if !math.IsNaN(KSCriticalValue(0, 10, 10)) || !math.IsNaN(KSCriticalValue(0.05, 0, 10)) {
+		t.Fatal("invalid inputs should give NaN")
+	}
+	// Critical value falls with sample size.
+	if KSCriticalValue(0.05, 1000, 1000) >= KSCriticalValue(0.05, 100, 100) {
+		t.Fatal("critical value should shrink with n")
+	}
+}
+
+func TestKSWithTies(t *testing.T) {
+	// Heavy ties must not trip the pointer walk.
+	xs := []float64{1, 1, 1, 2, 2}
+	ys := []float64{1, 2, 2, 2, 3}
+	d := KolmogorovSmirnov(xs, ys)
+	// After value 1: F1 = 0.6, F2 = 0.2 → gap 0.4.
+	// After value 2: F1 = 1.0, F2 = 0.8 → gap 0.2.
+	if math.Abs(d-0.4) > 1e-12 {
+		t.Fatalf("KS with ties = %v, want 0.4", d)
+	}
+}

@@ -1,0 +1,193 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selest/internal/xrand"
+)
+
+func mustColumn(t *testing.T, values []float64) *Column {
+	t.Helper()
+	c, err := NewColumn(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestColumnRejectsNaN(t *testing.T) {
+	if _, err := NewColumn([]float64{1, math.NaN(), 3}); err == nil {
+		t.Fatal("NaN should be rejected")
+	}
+}
+
+func TestColumnBasics(t *testing.T) {
+	c := mustColumn(t, []float64{5, 1, 3, 3, 9})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.At(0) != 5 || c.At(4) != 9 {
+		t.Fatal("At does not preserve insertion order")
+	}
+	if c.Min() != 1 || c.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+	if c.DistinctCount() != 4 {
+		t.Fatalf("DistinctCount = %d, want 4", c.DistinctCount())
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	c := mustColumn(t, []float64{1, 2, 2, 3, 5, 8})
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{2, 2, 2},   // duplicates, inclusive both ends
+		{1, 8, 6},   // full range
+		{0, 0.5, 0}, // below all
+		{9, 99, 0},  // above all
+		{2.5, 4, 1}, // interior
+		{5, 1, 0},   // inverted
+		{-1e9, 1e9, 6},
+	}
+	for _, tc := range cases {
+		if got := c.RangeCount(tc.a, tc.b); got != tc.want {
+			t.Errorf("RangeCount(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	c := mustColumn(t, []float64{1, 2, 3, 4})
+	if got := c.Selectivity(2, 3); got != 0.5 {
+		t.Fatalf("Selectivity = %v, want 0.5", got)
+	}
+	empty := mustColumn(t, nil)
+	if empty.Selectivity(0, 1) != 0 {
+		t.Fatal("empty column selectivity should be 0")
+	}
+}
+
+func TestRangeCountMatchesScan(t *testing.T) {
+	r := xrand.New(3)
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = math.Floor(r.Float64() * 100) // lots of duplicates
+	}
+	c := mustColumn(t, values)
+	for trial := 0; trial < 200; trial++ {
+		a := r.Float64() * 100
+		b := a + r.Float64()*20
+		want := 0
+		for _, v := range values {
+			if v >= a && v <= b {
+				want++
+			}
+		}
+		if got := c.RangeCount(a, b); got != want {
+			t.Fatalf("RangeCount(%v,%v) = %d, scan says %d", a, b, got, want)
+		}
+	}
+}
+
+func TestRelationValidation(t *testing.T) {
+	if _, err := NewRelation("r", nil); err == nil {
+		t.Fatal("empty relation should error")
+	}
+	if _, err := NewRelation("r", map[string][]float64{"a": {1, 2}, "b": {1}}); err == nil {
+		t.Fatal("ragged columns should error")
+	}
+	if _, err := NewRelation("r", map[string][]float64{"a": {math.NaN()}}); err == nil {
+		t.Fatal("NaN column should error")
+	}
+}
+
+func TestRelationAccess(t *testing.T) {
+	r, err := NewRelation("pts", map[string][]float64{
+		"x": {0, 1, 2, 3},
+		"y": {0, 10, 20, 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "pts" || r.Len() != 4 {
+		t.Fatalf("Name/Len = %v/%v", r.Name(), r.Len())
+	}
+	cols := r.Columns()
+	if len(cols) != 2 || cols[0] != "x" || cols[1] != "y" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	if _, ok := r.Column("z"); ok {
+		t.Fatal("missing column lookup should fail")
+	}
+	x, ok := r.Column("x")
+	if !ok || x.Len() != 4 {
+		t.Fatal("column lookup failed")
+	}
+}
+
+func TestRangeCount2D(t *testing.T) {
+	r, err := NewRelation("pts", map[string][]float64{
+		"x": {0, 1, 2, 3, 4},
+		"y": {0, 1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RangeCount2D("x", "y", 1, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 { // rows (1,1) and (2,2)
+		t.Fatalf("RangeCount2D = %d, want 2", got)
+	}
+	if _, err := r.RangeCount2D("x", "nope", 0, 1, 0, 1); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := r.RangeCount2D("nope", "y", 0, 1, 0, 1); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+// Property: RangeCount is additive over a partition at any split point.
+func TestQuickRangeCountAdditive(t *testing.T) {
+	r := xrand.New(17)
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = r.Float64() * 50
+	}
+	c := mustColumn(t, values)
+	prop := func(seed uint16) bool {
+		a := float64(seed%50) - 1
+		m := a + 7
+		b := a + 20
+		// [a,b] = [a,m] + (m,b]: use nextafter to make the halves disjoint.
+		left := c.RangeCount(a, m)
+		right := c.RangeCount(math.Nextafter(m, math.Inf(1)), b)
+		return left+right == c.RangeCount(a, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RangeCount is monotone in the interval: widening never shrinks.
+func TestQuickRangeCountMonotone(t *testing.T) {
+	r := xrand.New(19)
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = r.Normal() * 10
+	}
+	c := mustColumn(t, values)
+	prop := func(seed uint16) bool {
+		a := float64(seed%60) - 30
+		b := a + 5
+		return c.RangeCount(a, b) <= c.RangeCount(a-1, b+1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package wavelet
+
+import (
+	"math"
+
+	"testing"
+	"testing/quick"
+
+	"selest/internal/xmath"
+	"selest/internal/xrand"
+)
+
+func uniformSamples(n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64() * 1000
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{DomainHi: 1}); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	if _, err := New([]float64{1}, Config{DomainLo: 1, DomainHi: 1}); err == nil {
+		t.Fatal("empty domain should error")
+	}
+}
+
+func TestFullCoefficientsReconstructExactly(t *testing.T) {
+	// Keeping every coefficient must reproduce the per-cell mass fractions
+	// exactly (the Haar transform is orthogonal).
+	samples := uniformSamples(500, 1)
+	const grid = 64
+	e, err := New(samples, Config{Grid: grid, Coefficients: grid, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(len(samples))
+	width := 1000.0 / grid
+	want := make([]float64, grid)
+	for _, x := range samples {
+		i := int(x / width)
+		if i >= grid {
+			i = grid - 1
+		}
+		want[i] += 1 / n
+	}
+	for cell := 0; cell < grid; cell++ {
+		if got := e.freqAt(cell); !xmath.AlmostEqual(got, want[cell], 1e-9) {
+			t.Fatalf("cell %d: reconstructed mass %v, want %v", cell, got, want[cell])
+		}
+	}
+}
+
+func TestThresholdedBlockAveraging(t *testing.T) {
+	// With only the average coefficient kept, every cell reconstructs to
+	// the global mean mass — the flattest possible histogram, not zero.
+	samples := uniformSamples(1000, 8)
+	const grid = 32
+	e, err := New(samples, Config{Grid: grid, Coefficients: 1, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := 0; cell < grid; cell++ {
+		if got := e.freqAt(cell); math.Abs(got-1.0/grid) > 1e-9 {
+			t.Fatalf("cell %d: mass %v, want uniform %v", cell, got, 1.0/grid)
+		}
+	}
+}
+
+func TestGridRoundsToPowerOfTwo(t *testing.T) {
+	e, err := New(uniformSamples(100, 2), Config{Grid: 100, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Grid() != 128 {
+		t.Fatalf("Grid = %d, want 128", e.Grid())
+	}
+}
+
+func TestSelectivityAccuracyUniform(t *testing.T) {
+	samples := uniformSamples(2000, 3)
+	e, err := New(samples, Config{DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]float64{{0, 100}, {250, 500}, {450, 550}, {900, 1000}} {
+		want := (q[1] - q[0]) / 1000
+		got := e.Selectivity(q[0], q[1])
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("σ̂(%v,%v) = %v, want ~%v", q[0], q[1], got, want)
+		}
+	}
+	if e.Selectivity(10, 5) != 0 {
+		t.Fatal("inverted query should be 0")
+	}
+}
+
+func TestSelectivityAccuracySkewed(t *testing.T) {
+	// Exponential data: the synopsis must track the skew with few
+	// coefficients (this is the wavelet histogram's selling point).
+	r := xrand.New(4)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = math.Min(r.Exponential(0.01), 1000)
+	}
+	e, err := New(samples, Config{Coefficients: 64, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(X <= 100) = 1 − e^{−1} ≈ 0.632 for Exp(0.01).
+	if got := e.Selectivity(0, 100); math.Abs(got-0.632) > 0.05 {
+		t.Fatalf("σ̂(0,100) = %v, want ~0.632", got)
+	}
+	// Deep tail nearly empty.
+	if got := e.Selectivity(800, 1000); got > 0.02 {
+		t.Fatalf("tail σ̂ = %v, want ~0", got)
+	}
+}
+
+func TestMoreCoefficientsResolveStructure(t *testing.T) {
+	// On skewed data the density has real structure: a tiny synopsis
+	// over-smooths it and a larger one must reduce the error. (On uniform
+	// data the opposite holds — fewer coefficients mean beneficial
+	// smoothing of sampling noise — which is the classic bias/variance
+	// trade, not a defect.)
+	r := xrand.New(5)
+	samples := make([]float64, 4000)
+	for i := range samples {
+		samples[i] = math.Min(r.Exponential(0.02), 1000) // mean 50, sharp left peak
+	}
+	errAt := func(m int) float64 {
+		e, err := New(samples, Config{Coefficients: m, DomainLo: 0, DomainHi: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for a := 0.0; a < 290; a += 10 {
+			got := e.Selectivity(a, a+10)
+			want := math.Exp(-0.02*a) - math.Exp(-0.02*(a+10))
+			total += math.Abs(got - want)
+		}
+		return total
+	}
+	if e2, e64 := errAt(2), errAt(64); e64 >= e2 {
+		t.Fatalf("structure not resolved: m=2 err %v, m=64 err %v", e2, e64)
+	}
+}
+
+func TestCoefficientsAccessor(t *testing.T) {
+	e, err := New(uniformSamples(100, 6), Config{Coefficients: 16, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Coefficients() > 16 || e.Coefficients() < 1 {
+		t.Fatalf("Coefficients = %d", e.Coefficients())
+	}
+	if e.Name() != "wavelet" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+// Property: CDF is monotone and selectivity within [0,1].
+func TestQuickWaveletInvariants(t *testing.T) {
+	samples := uniformSamples(500, 7)
+	e, err := New(samples, Config{Coefficients: 32, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(rawA, rawW uint8) bool {
+		a := float64(rawA) / 255 * 900
+		w := float64(rawW) / 255 * 100
+		s := e.Selectivity(a, a+w)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package xmath
+
+import "math"
+
+// Derivative approximates f'(x) with a central difference of step h.
+// If h <= 0 a step proportional to max(|x|,1)·cbrt(eps) is chosen.
+func Derivative(f Func, x, h float64) float64 {
+	if h <= 0 {
+		h = stepFor(x, 1.0/3.0)
+	}
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative approximates f”(x) with a central second difference of
+// step h. If h <= 0 a step proportional to max(|x|,1)·eps^(1/4) is chosen.
+func SecondDerivative(f Func, x, h float64) float64 {
+	if h <= 0 {
+		h = stepFor(x, 1.0/4.0)
+	}
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// stepFor picks a finite-difference step that balances truncation and
+// round-off error: max(|x|,1) · eps^pow.
+func stepFor(x, pow float64) float64 {
+	scale := math.Abs(x)
+	if scale < 1 {
+		scale = 1
+	}
+	return scale * math.Pow(2.220446049250313e-16, pow)
+}
+
+// GradientTable returns the central-difference first derivative of a
+// tabulated function ys sampled on an equally spaced grid with spacing dx.
+// One-sided differences are used at the ends. The result has len(ys)
+// entries; inputs shorter than 2 yield a zero slice of the same length.
+func GradientTable(ys []float64, dx float64) []float64 {
+	out := make([]float64, len(ys))
+	if len(ys) < 2 || dx == 0 {
+		return out
+	}
+	n := len(ys)
+	out[0] = (ys[1] - ys[0]) / dx
+	out[n-1] = (ys[n-1] - ys[n-2]) / dx
+	for i := 1; i < n-1; i++ {
+		out[i] = (ys[i+1] - ys[i-1]) / (2 * dx)
+	}
+	return out
+}
+
+// SecondDerivativeTable returns the central second difference of a tabulated
+// function on an equally spaced grid. The endpoints copy their neighbours so
+// the slice is fully populated.
+func SecondDerivativeTable(ys []float64, dx float64) []float64 {
+	out := make([]float64, len(ys))
+	if len(ys) < 3 || dx == 0 {
+		return out
+	}
+	n := len(ys)
+	for i := 1; i < n-1; i++ {
+		out[i] = (ys[i+1] - 2*ys[i] + ys[i-1]) / (dx * dx)
+	}
+	out[0] = out[1]
+	out[n-1] = out[n-2]
+	return out
+}

@@ -1,0 +1,119 @@
+package xmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by Bisect when the function does not change sign
+// over the supplied interval.
+var ErrNoBracket = errors.New("xmath: root not bracketed")
+
+const goldenRatio = 0.6180339887498949 // (√5 − 1) / 2
+
+// GoldenSection minimises f over [a,b] and returns the abscissa of the
+// minimum. tol is the absolute x-tolerance (defaulted when <= 0). The
+// function must be unimodal on the interval for a guaranteed global result;
+// otherwise a local minimum is found.
+func GoldenSection(f Func, a, b, tol float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-9 * math.Max(1, math.Abs(a)+math.Abs(b))
+	}
+	x1 := b - goldenRatio*(b-a)
+	x2 := a + goldenRatio*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - goldenRatio*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + goldenRatio*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// GridMin evaluates f at n equally spaced points on [a,b] (inclusive) and
+// returns the abscissa and value of the smallest evaluation. n is clamped to
+// at least 2. Unlike GoldenSection this makes no unimodality assumption and
+// is used to scan noisy empirical error curves.
+func GridMin(f Func, a, b float64, n int) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	if b < a {
+		a, b = b, a
+	}
+	step := (b - a) / float64(n-1)
+	x, fx = a, f(a)
+	for i := 1; i < n; i++ {
+		xi := a + float64(i)*step
+		if fi := f(xi); fi < fx {
+			x, fx = xi, fi
+		}
+	}
+	return x, fx
+}
+
+// LogGridMin scans f on a logarithmically spaced grid over [a,b] (both must
+// be positive) and returns the abscissa and value of the smallest
+// evaluation. It is the natural scan for scale parameters such as
+// bandwidths, whose plausible range spans orders of magnitude.
+func LogGridMin(f Func, a, b float64, n int) (x, fx float64) {
+	if a <= 0 || b <= 0 {
+		return GridMin(f, a, b, n)
+	}
+	if n < 2 {
+		n = 2
+	}
+	if b < a {
+		a, b = b, a
+	}
+	la, lb := math.Log(a), math.Log(b)
+	step := (lb - la) / float64(n-1)
+	x, fx = a, f(a)
+	for i := 1; i < n; i++ {
+		xi := math.Exp(la + float64(i)*step)
+		if fi := f(xi); fi < fx {
+			x, fx = xi, fi
+		}
+	}
+	return x, fx
+}
+
+// Bisect finds a root of f in [a,b] to within tol using bisection. The
+// function values at a and b must differ in sign.
+func Bisect(f Func, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12 * math.Max(1, math.Abs(a)+math.Abs(b))
+	}
+	for math.Abs(b-a) > tol {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if (fa > 0) == (fm > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}

@@ -1,0 +1,76 @@
+package xmath
+
+import "math"
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Linspace returns n equally spaced values from a to b inclusive.
+// n < 2 yields []float64{a}.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// AlmostEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser). NaNs are never equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Lerp linearly interpolates between a and b by t ∈ [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// InterpTable linearly interpolates a function tabulated at equally spaced
+// abscissas x0, x0+dx, ... at the point x. Values outside the table are
+// clamped to the nearest endpoint.
+func InterpTable(ys []float64, x0, dx, x float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	if len(ys) == 1 || dx == 0 {
+		return ys[0]
+	}
+	t := (x - x0) / dx
+	if t <= 0 {
+		return ys[0]
+	}
+	if t >= float64(len(ys)-1) {
+		return ys[len(ys)-1]
+	}
+	i := int(t)
+	return Lerp(ys[i], ys[i+1], t-float64(i))
+}
+
+// Cube returns x³; it exists because the paper's bin-width formulas use
+// cubes and cube roots heavily and x*x*x at call sites obscures intent.
+func Cube(x float64) float64 { return x * x * x }
+
+// Sq returns x².
+func Sq(x float64) float64 { return x * x }

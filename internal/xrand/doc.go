@@ -1,0 +1,10 @@
+// Package xrand provides the deterministic random-variate substrate for
+// selest: a small, fast PRNG (xoshiro256** seeded via splitmix64) plus
+// samplers for the distributions the paper's evaluation uses — uniform,
+// normal, exponential, Zipf, finite mixtures, and the clustered spatial
+// process that stands in for the TIGER/Line data files.
+//
+// Every generator in this package is fully determined by its seed, so data
+// files, sample sets and query workloads are reproducible across runs and
+// machines. The package deliberately does not use math/rand's global state.
+package xrand

@@ -1,0 +1,123 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MixtureComponent is one component of a finite mixture: a sampler drawn
+// with probability proportional to Weight.
+type MixtureComponent struct {
+	Weight float64
+	Draw   func(*RNG) float64
+}
+
+// Mixture draws from a finite mixture of samplers. Construct with
+// NewMixture; the zero value is unusable.
+type Mixture struct {
+	components []MixtureComponent
+	cum        []float64 // cumulative normalised weights
+}
+
+// NewMixture builds a mixture sampler from the given components. Weights
+// are normalised; non-positive weights or an empty component list are
+// rejected.
+func NewMixture(components []MixtureComponent) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("xrand: mixture needs at least one component")
+	}
+	total := 0.0
+	for i, c := range components {
+		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return nil, fmt.Errorf("xrand: mixture component %d has invalid weight %v", i, c.Weight)
+		}
+		if c.Draw == nil {
+			return nil, fmt.Errorf("xrand: mixture component %d has nil sampler", i)
+		}
+		total += c.Weight
+	}
+	m := &Mixture{
+		components: append([]MixtureComponent(nil), components...),
+		cum:        make([]float64, len(components)),
+	}
+	run := 0.0
+	for i, c := range components {
+		run += c.Weight / total
+		m.cum[i] = run
+	}
+	m.cum[len(m.cum)-1] = 1 // kill accumulated round-off
+	return m, nil
+}
+
+// Draw samples one value from the mixture.
+func (m *Mixture) Draw(r *RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Draw(r)
+}
+
+// Components returns the number of mixture components.
+func (m *Mixture) Components() int { return len(m.components) }
+
+// ClusterProcess generates the clumpy one-dimensional point process we use
+// as a stand-in for coordinate data extracted from TIGER/Line files (see
+// DESIGN.md §4): k cluster centres placed by a parent process, each centre
+// carrying a narrow Gaussian of points, with power-law cluster weights so a
+// few clusters dominate — the signature of road/river endpoint data.
+type ClusterProcess struct {
+	mix *Mixture
+}
+
+// ClusterConfig parameterises a ClusterProcess.
+type ClusterConfig struct {
+	Clusters    int     // number of cluster centres (>= 1)
+	Lo, Hi      float64 // support of the parent process
+	SpreadFrac  float64 // cluster stddev as a fraction of (Hi−Lo); e.g. 0.002
+	WeightDecay float64 // power-law exponent for cluster weights; e.g. 1.1
+	Seed        uint64  // placement seed (independent of the draw RNG)
+}
+
+// NewClusterProcess places cluster centres and returns the process.
+func NewClusterProcess(cfg ClusterConfig) (*ClusterProcess, error) {
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("xrand: cluster process needs >= 1 cluster, got %d", cfg.Clusters)
+	}
+	if cfg.Hi <= cfg.Lo {
+		return nil, fmt.Errorf("xrand: cluster support [%v, %v] is empty", cfg.Lo, cfg.Hi)
+	}
+	if cfg.SpreadFrac <= 0 {
+		cfg.SpreadFrac = 0.002
+	}
+	if cfg.WeightDecay <= 0 {
+		cfg.WeightDecay = 1.1
+	}
+	placement := New(cfg.Seed)
+	width := cfg.Hi - cfg.Lo
+	std := cfg.SpreadFrac * width
+	comps := make([]MixtureComponent, cfg.Clusters)
+	for i := range comps {
+		centre := cfg.Lo + width*placement.Float64()
+		// Power-law weights: cluster ranks follow w_i ∝ (i+1)^(−decay).
+		weight := math.Pow(float64(i+1), -cfg.WeightDecay)
+		comps[i] = MixtureComponent{
+			Weight: weight,
+			Draw: func(r *RNG) float64 {
+				return r.NormalMeanStd(centre, std)
+			},
+		}
+	}
+	mix, err := NewMixture(comps)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterProcess{mix: mix}, nil
+}
+
+// Draw samples one point. Values can fall slightly outside [Lo, Hi]; the
+// dataset layer clips to the integer domain exactly as the paper clips
+// records that fall outside the mapped domain.
+func (p *ClusterProcess) Draw(r *RNG) float64 { return p.mix.Draw(r) }

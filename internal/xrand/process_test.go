@@ -1,0 +1,128 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixtureRejectsBadInput(t *testing.T) {
+	if _, err := NewMixture(nil); err == nil {
+		t.Fatal("empty mixture should error")
+	}
+	if _, err := NewMixture([]MixtureComponent{{Weight: -1, Draw: func(*RNG) float64 { return 0 }}}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := NewMixture([]MixtureComponent{{Weight: 1, Draw: nil}}); err == nil {
+		t.Fatal("nil sampler should error")
+	}
+	if _, err := NewMixture([]MixtureComponent{{Weight: math.NaN(), Draw: func(*RNG) float64 { return 0 }}}); err == nil {
+		t.Fatal("NaN weight should error")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	// Two point masses with weights 3:1 — the empirical split must match.
+	mix, err := NewMixture([]MixtureComponent{
+		{Weight: 3, Draw: func(*RNG) float64 { return 0 }},
+		{Weight: 1, Draw: func(*RNG) float64 { return 1 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(17)
+	const n = 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if mix.Draw(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("component-2 fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestMixtureComponentsCount(t *testing.T) {
+	mix, err := NewMixture([]MixtureComponent{
+		{Weight: 1, Draw: func(*RNG) float64 { return 0 }},
+		{Weight: 1, Draw: func(*RNG) float64 { return 1 }},
+		{Weight: 1, Draw: func(*RNG) float64 { return 2 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Components() != 3 {
+		t.Fatalf("Components() = %d, want 3", mix.Components())
+	}
+}
+
+func TestClusterProcessValidation(t *testing.T) {
+	if _, err := NewClusterProcess(ClusterConfig{Clusters: 0, Lo: 0, Hi: 1}); err == nil {
+		t.Fatal("0 clusters should error")
+	}
+	if _, err := NewClusterProcess(ClusterConfig{Clusters: 3, Lo: 1, Hi: 1}); err == nil {
+		t.Fatal("empty support should error")
+	}
+}
+
+func TestClusterProcessIsClumpy(t *testing.T) {
+	p, err := NewClusterProcess(ClusterConfig{Clusters: 20, Lo: 0, Hi: 1000, SpreadFrac: 0.001, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(8)
+	const n = 50000
+	// Histogram into 100 cells; a clumpy process concentrates most points in
+	// few cells, while a uniform one spreads them evenly.
+	cells := make([]int, 100)
+	for i := 0; i < n; i++ {
+		v := p.Draw(r)
+		idx := int(v / 10)
+		if idx >= 0 && idx < len(cells) {
+			cells[idx]++
+		}
+	}
+	occupied := 0
+	for _, c := range cells {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if occupied > 60 {
+		t.Fatalf("cluster process occupies %d/100 cells; expected clumpiness", occupied)
+	}
+}
+
+func TestClusterProcessDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		p, err := NewClusterProcess(ClusterConfig{Clusters: 5, Lo: 0, Hi: 100, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(99)
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = p.Draw(r)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cluster process not deterministic at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClusterProcessDefaults(t *testing.T) {
+	p, err := NewClusterProcess(ClusterConfig{Clusters: 2, Lo: 0, Hi: 10, SpreadFrac: 0, WeightDecay: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(2)
+	v := p.Draw(r)
+	if math.IsNaN(v) {
+		t.Fatal("draw produced NaN")
+	}
+}

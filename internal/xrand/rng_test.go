@@ -1,0 +1,215 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 8000 {
+			t.Fatalf("value %d badly under-represented: %d/60000", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	r := New(9)
+	f := r.Fork()
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == f.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("forked stream matched parent %d times", matches)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(xs)
+	got := 0.0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed contents: sum %v -> %v", sum, got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(21)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(23)
+	const n, rate = 200000, 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("exponential variate negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) should panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		v := r.UniformRange(-3, 8)
+		if v < -3 || v >= 8 {
+			t.Fatalf("UniformRange out of bounds: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 1.5, 1, 999)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		v := z.Uint64()
+		if v > 999 {
+			t.Fatalf("Zipf variate out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 1, which must dominate rank 10.
+	if !(counts[0] > counts[1] && counts[1] > counts[10]) {
+		t.Fatalf("Zipf not skewed: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(q<=1) should panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 1, 10)
+}
+
+// Property: Intn(n) stays within [0, n) for arbitrary small n.
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(99)
+	prop := func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

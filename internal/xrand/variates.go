@@ -1,0 +1,95 @@
+package xrand
+
+import "math"
+
+// Normal returns a standard normal variate via the Marsaglia polar method.
+// The polar method produces two variates per accepted pair; we deliberately
+// discard the spare so that each call is a pure function of the PRNG stream,
+// which keeps generated datasets stable under code refactoring.
+func (r *RNG) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalMeanStd returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormalMeanStd(mean, std float64) float64 {
+	return mean + std*r.Normal()
+}
+
+// Exponential returns an Exp(rate) variate via inversion. rate must be
+// positive; it panics otherwise.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exponential with non-positive rate")
+	}
+	// 1−U avoids log(0); U ∈ [0,1) so 1−U ∈ (0,1].
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// UniformRange returns a uniform variate in [lo, hi).
+func (r *RNG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Zipf draws from a Zipf distribution with P(k) ∝ (v+k)^(−q) for k in
+// {0, …, imax} using rejection-inversion (Hörmann–Derflinger). This mirrors
+// the standard library's generator but runs against our own PRNG so data
+// generation stays deterministic and dependency-free.
+type Zipf struct {
+	rng              *RNG
+	imax             float64
+	v                float64
+	q                float64
+	s                float64
+	oneminusQ        float64
+	oneminusQinv     float64
+	hxm, hx0minusHxm float64
+}
+
+// NewZipf returns a Zipf generator over {0, …, imax} with exponent q and
+// shift v. It panics if q <= 1 or v < 1.
+func NewZipf(rng *RNG, q, v float64, imax uint64) *Zipf {
+	if q <= 1 || v < 1 {
+		panic("xrand: NewZipf requires q > 1 and v >= 1")
+	}
+	z := &Zipf{rng: rng, imax: float64(imax), v: v, q: q}
+	z.oneminusQ = 1 - q
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(v)*(-q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-q*math.Log(v+1)))
+	return z
+}
+
+// h is the integral of the hat function used by rejection-inversion.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+// hinv is the inverse of h.
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 returns a Zipf variate in {0, …, imax}.
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.rng.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}

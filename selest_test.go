@@ -1,0 +1,76 @@
+package selest_test
+
+import (
+	"math"
+	"testing"
+
+	"selest"
+	"selest/internal/xrand"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	r := xrand.New(1)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = math.Floor(r.Float64() * (1 << 20))
+	}
+	est, err := selest.Build(samples, selest.Options{
+		Method:   selest.Kernel,
+		Boundary: selest.BoundaryKernels,
+		DomainLo: 0,
+		DomainHi: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% interior query on uniform data.
+	lo, hi := 0.45*(1<<20), 0.55*(1<<20)
+	if got := est.Selectivity(lo, hi); math.Abs(got-0.1) > 0.03 {
+		t.Fatalf("σ̂ = %v, want ~0.1", got)
+	}
+}
+
+func TestFacadeAllMethodsExposed(t *testing.T) {
+	want := []selest.Method{
+		selest.Sampling, selest.Uniform, selest.EquiWidth, selest.EquiDepth,
+		selest.MaxDiff, selest.VOptimal, selest.EndBiased, selest.Wavelet, selest.ASH, selest.FrequencyPolygon, selest.Kernel, selest.VariableKernel, selest.Hybrid,
+	}
+	got := selest.Methods()
+	if len(got) != len(want) {
+		t.Fatalf("Methods() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Methods()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFacadeRulesAndBoundaries(t *testing.T) {
+	r := xrand.New(2)
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = r.NormalMeanStd(500, 100)
+	}
+	for i, v := range samples {
+		if v < 0 {
+			samples[i] = 0
+		} else if v > 1000 {
+			samples[i] = 1000
+		}
+	}
+	for _, rule := range []selest.BandwidthRule{selest.NormalScale, selest.DPI, selest.LSCV} {
+		for _, b := range []selest.BoundaryMode{selest.BoundaryNone, selest.BoundaryReflect, selest.BoundaryKernels} {
+			est, err := selest.Build(samples, selest.Options{
+				Method: selest.Kernel, Rule: rule, Boundary: b,
+				DomainLo: 0, DomainHi: 1000,
+			})
+			if err != nil {
+				t.Fatalf("rule=%s boundary=%s: %v", rule, b, err)
+			}
+			if s := est.Selectivity(400, 600); s < 0.4 || s > 0.9 {
+				t.Fatalf("rule=%s boundary=%s: ±1σ σ̂ = %v", rule, b, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+# Development and CI entry points. `make ci` is the gate: vet, the full
+# test suite, and the race detector over the concurrency-sensitive
+# packages (online serving through refit failures, robust ladder).
+
+GO ?= go
+
+.PHONY: build test vet race race-online fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The online refit-failure suite is the race-detector hot spot: readers
+# serve while writers fail, panic, and degrade the builder ladder.
+race-online:
+	$(GO) test -race -v -run 'Refit|Panic|Degrad|Drift|Concurrent' ./internal/online/
+
+# Short fuzz pass over the robust ladder's finite-[0,1] invariant.
+fuzz:
+	$(GO) test -fuzz FuzzBuild -fuzztime 30s ./internal/robust/
+
+ci: vet test race

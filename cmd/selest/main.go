@@ -6,7 +6,11 @@
 // for stdin), a CSV file (-column selects the field, -header skips the
 // first row), or a binary .seld file produced by gendata. Queries are
 // given as "a:b" pairs on the command line; with -compare the estimate of
-// every method is printed next to the exact answer.
+// every method is printed next to the exact answer. -robust builds
+// through the graceful-degradation ladder (sanitized input, fallback
+// methods on fit failure, guarded estimates); degenerate all-equal data
+// always takes that path, serving a point-mass estimator with a warning
+// instead of exiting.
 //
 // Examples:
 //
@@ -42,6 +46,7 @@ func main() {
 		samples   = flag.Int("samples", 2000, "sample-set size drawn from the data")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
 		compare   = flag.Bool("compare", false, "print every method's estimate next to the exact answer")
+		robust    = flag.Bool("robust", false, "build through the graceful-degradation ladder: sanitize input, fall back to simpler methods on fit failure, guard every estimate")
 		column    = flag.String("column", "", "CSV input: column name or 0-based index (default: first field)")
 		header    = flag.Bool("header", false, "CSV input: first row is a header")
 		evaluate  = flag.String("evaluate", "", "evaluate against a .selq workload file instead of answering ad-hoc queries")
@@ -68,8 +73,12 @@ func main() {
 	}
 
 	lo, hi := stats.Min(values), stats.Max(values)
+	robustMode := *robust
 	if lo == hi {
-		fail(fmt.Errorf("degenerate data: all values equal %v", lo))
+		// All values equal: no interval structure for a strict fit. The
+		// robust ladder's point-mass estimator still answers correctly.
+		fmt.Fprintf(os.Stderr, "selest: warning: degenerate data: all values equal %v; serving a point-mass estimator\n", lo)
+		robustMode = true
 	}
 	n := *samples
 	if n > len(values) {
@@ -108,7 +117,7 @@ func main() {
 	}
 
 	if *evaluate != "" {
-		if err := evaluateWorkload(*evaluate, smp, opts, methods, len(values)); err != nil {
+		if err := evaluateWorkload(*evaluate, smp, opts, methods, len(values), robustMode); err != nil {
 			fail(err)
 		}
 		return
@@ -121,7 +130,7 @@ func main() {
 		for _, m := range methods {
 			o := opts
 			o.Method = m
-			est, err := selest.Build(smp, o)
+			est, err := buildEstimator(smp, o, robustMode)
 			if err != nil {
 				fmt.Printf("  %-12s error: %v\n", m, err)
 				continue
@@ -131,6 +140,23 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// buildEstimator builds one method's estimator, strictly or through the
+// robust ladder. In robust mode a degraded or sanitized build prints its
+// report to stderr so the served answer's provenance is visible.
+func buildEstimator(smp []float64, o selest.Options, robustMode bool) (selest.Estimator, error) {
+	if !robustMode {
+		return selest.Build(smp, o)
+	}
+	est, rep, err := selest.BuildRobust(smp, o)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Degraded || rep.Sanitize.Dropped > 0 || rep.Sanitize.Clamped > 0 {
+		fmt.Fprintf(os.Stderr, "selest: warning: robust build: %s\n", rep)
+	}
+	return est, nil
 }
 
 type rangeQuery struct{ a, b float64 }
@@ -231,7 +257,7 @@ func fail(err error) {
 
 // evaluateWorkload loads a .selq workload and prints each method's MRE
 // and q-error summary against its stored ground truth.
-func evaluateWorkload(path string, smp []float64, opts selest.Options, methods []selest.Method, records int) error {
+func evaluateWorkload(path string, smp []float64, opts selest.Options, methods []selest.Method, records int, robustMode bool) error {
 	w, err := query.LoadFile(path)
 	if err != nil {
 		return err
@@ -244,7 +270,7 @@ func evaluateWorkload(path string, smp []float64, opts selest.Options, methods [
 	for _, m := range methods {
 		o := opts
 		o.Method = m
-		est, err := selest.Build(smp, o)
+		est, err := buildEstimator(smp, o, robustMode)
 		if err != nil {
 			fmt.Printf("%-16s error: %v\n", m, err)
 			continue

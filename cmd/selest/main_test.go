@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"selest"
 	"selest/internal/dataset"
 )
 
@@ -109,5 +110,43 @@ func TestReadValuesCSV(t *testing.T) {
 	}
 	if len(got) != 2 || got[0] != 1.5 || got[1] != 2.5 {
 		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBuildEstimatorStrictVsRobust(t *testing.T) {
+	smp := make([]float64, 200)
+	for i := range smp {
+		smp[i] = float64(i)
+	}
+	opts := selest.Options{Method: selest.Kernel, Boundary: selest.BoundaryKernels, DomainLo: 0, DomainHi: 199}
+	for _, robustMode := range []bool{false, true} {
+		est, err := buildEstimator(smp, opts, robustMode)
+		if err != nil {
+			t.Fatalf("robust=%v: %v", robustMode, err)
+		}
+		if s := est.Selectivity(0, 100); s <= 0 || s > 1 {
+			t.Fatalf("robust=%v: Selectivity = %v", robustMode, s)
+		}
+	}
+}
+
+// TestBuildEstimatorAllEqualData is the regression for the CLI's former
+// hard failure on degenerate data: all-equal values must build a serving
+// point-mass estimator through the robust ladder.
+func TestBuildEstimatorAllEqualData(t *testing.T) {
+	smp := []float64{42, 42, 42, 42, 42}
+	opts := selest.Options{Method: selest.Kernel, DomainLo: 42, DomainHi: 42}
+	if _, err := buildEstimator(smp, opts, false); err == nil {
+		t.Fatal("strict build should fail on an empty domain")
+	}
+	est, err := buildEstimator(smp, opts, true)
+	if err != nil {
+		t.Fatalf("robust build on all-equal data: %v", err)
+	}
+	if s := est.Selectivity(40, 45); s != 1 {
+		t.Fatalf("covering query = %v, want 1", s)
+	}
+	if s := est.Selectivity(43, 45); s != 0 {
+		t.Fatalf("disjoint query = %v, want 0", s)
 	}
 }

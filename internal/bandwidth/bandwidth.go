@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"selest/internal/faultinject"
 	"selest/internal/kde"
 	"selest/internal/kernel"
 	"selest/internal/stats"
@@ -63,6 +64,9 @@ func AMISEKernel(h float64, n int, k kernel.Kernel, roughnessSecond float64) flo
 // equi-width bin width (eq. 8): h ≈ (24√π)^(1/3) · s · n^(−1/3), where the
 // scale s is estimated as min(stddev, IQR/1.348) by stats.Scale.
 func NormalScaleBinWidth(samples []float64) (float64, error) {
+	if err := faultinject.Check("bandwidth.normal-scale-binwidth"); err != nil {
+		return 0, err
+	}
 	n := len(samples)
 	if n == 0 {
 		return 0, fmt.Errorf("bandwidth: empty sample set")
@@ -82,6 +86,9 @@ func NormalScaleBinWidth(samples []float64) (float64, error) {
 //
 // which for the Epanechnikov kernel is the paper's h ≈ 2.345·s·n^(−1/5).
 func NormalScaleBandwidth(samples []float64, k kernel.Kernel) (float64, error) {
+	if err := faultinject.Check("bandwidth.normal-scale"); err != nil {
+		return 0, err
+	}
 	n := len(samples)
 	if n == 0 {
 		return 0, fmt.Errorf("bandwidth: empty sample set")
@@ -131,6 +138,9 @@ func NormalScaleBins(samples []float64, lo, hi float64, maxBins int) (int, error
 // The pilot estimates use reflection at [lo, hi] so the boundary loss does
 // not bias the functional.
 func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64) (float64, error) {
+	if err := faultinject.Check("bandwidth.dpi"); err != nil {
+		return 0, err
+	}
 	h, err := NormalScaleBandwidth(samples, k)
 	if err != nil {
 		return 0, err
@@ -169,6 +179,9 @@ func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64)
 // iterations estimate ∫f'² from a pilot kernel estimate and plug it into
 // eq. 7.
 func DPIBinWidth(samples []float64, steps int, lo, hi float64) (float64, error) {
+	if err := faultinject.Check("bandwidth.dpi-binwidth"); err != nil {
+		return 0, err
+	}
 	h, err := NormalScaleBinWidth(samples)
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"selest/internal/faultinject"
 	"selest/internal/kernel"
 	"selest/internal/xmath"
 )
@@ -19,6 +20,9 @@ import (
 // data-driven (no normal reference), at the price of O(grid·n·k) work and
 // the well-known tendency to undersmooth on heavy-duplicate data.
 func LSCVBandwidth(samples []float64, k kernel.Kernel, hLo, hHi float64, gridN int) (float64, error) {
+	if err := faultinject.Check("bandwidth.lscv"); err != nil {
+		return 0, err
+	}
 	if len(samples) < 2 {
 		return 0, fmt.Errorf("bandwidth: LSCV needs at least 2 samples")
 	}

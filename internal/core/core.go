@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"selest/internal/bandwidth"
+	"selest/internal/faultinject"
 	"selest/internal/histogram"
 	"selest/internal/hybrid"
 	"selest/internal/kde"
@@ -18,7 +19,10 @@ import (
 )
 
 // Estimator is a one-dimensional range-selectivity estimator: Selectivity
-// returns the estimated fraction of records in [a, b], in [0, 1].
+// returns the estimated fraction of records in [a, b], in [0, 1]. The
+// contract is total over the query plane: an inverted range (a > b) or a
+// NaN bound yields 0, never NaN — degraded queries must degrade the
+// answer, not poison downstream cardinality arithmetic.
 type Estimator interface {
 	Selectivity(a, b float64) float64
 	// Name identifies the estimator in experiment output.
@@ -127,6 +131,15 @@ type Options struct {
 	// HybridConfig tunes the hybrid estimator; the zero value applies the
 	// defaults of package hybrid.
 	HybridConfig hybrid.Config
+
+	// Robust routes construction through the graceful-degradation ladder
+	// of internal/robust: inputs are sanitized, fit failures step down the
+	// ladder (kernel → equi-depth → sampling → uniform), and every
+	// estimate is guarded to be finite and in [0, 1]. The flag is
+	// interpreted by the top-level selest.Build (and cmd/selest's -robust
+	// flag); core.Build itself always performs the strict single-method
+	// fit.
+	Robust bool
 }
 
 // Build constructs the estimator described by opts from the sample set.
@@ -140,6 +153,9 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 	method := opts.Method
 	if method == "" {
 		method = Kernel
+	}
+	if err := faultinject.Check("core.build." + string(method)); err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", method, err)
 	}
 	switch method {
 	case Sampling:

@@ -1,0 +1,134 @@
+// Package faultinject is a test-time fault-injection registry: production
+// code calls Check at named sites ("bandwidth.lscv", "core.build.kernel",
+// "hybrid.changepoints", …) and tests force a failure at any site with
+// Enable or EnablePanic. This is how the graceful-degradation ladder of
+// internal/robust is exercised rung by rung — a test injects a fault into
+// the kernel fit and asserts the ladder lands on equi-depth, and so on.
+//
+// When no fault is registered, Check costs a single atomic load, so the
+// hooks can stay compiled into serving paths.
+//
+// The registry is process-global. Tests that enable faults must Reset (or
+// Disable each site) before finishing, and must not run in parallel with
+// tests that exercise the same sites; the helper
+//
+//	t.Cleanup(faultinject.Reset)
+//
+// is the expected idiom.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fault is one registered failure: a non-nil err makes Check return it; a
+// panic message makes Check panic instead (exercising recover paths).
+type fault struct {
+	err      error
+	panicMsg string
+	// remaining > 0 limits how many times the fault fires before it
+	// disables itself; 0 means it fires every time until Disabled.
+	remaining int
+}
+
+var (
+	mu     sync.Mutex
+	faults map[string]*fault
+	// active mirrors len(faults) so Check's fast path is one atomic load.
+	active atomic.Int64
+)
+
+// Enable registers err to be returned by Check(site) until Disable or
+// Reset. A nil err disables the site.
+func Enable(site string, err error) {
+	if err == nil {
+		Disable(site)
+		return
+	}
+	set(site, &fault{err: err})
+}
+
+// EnableOnce registers err to be returned by the next n Check(site) calls,
+// after which the site self-disables. Useful for "fail K refits, then
+// recover" scenarios.
+func EnableOnce(site string, err error, n int) {
+	if err == nil || n <= 0 {
+		Disable(site)
+		return
+	}
+	set(site, &fault{err: err, remaining: n})
+}
+
+// EnablePanic makes Check(site) panic with msg, exercising recover()
+// containment in the caller.
+func EnablePanic(site string, msg string) {
+	set(site, &fault{panicMsg: msg})
+}
+
+func set(site string, f *fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = make(map[string]*fault)
+	}
+	if _, ok := faults[site]; !ok {
+		active.Add(1)
+	}
+	faults[site] = f
+}
+
+// Disable removes the fault at site, if any.
+func Disable(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := faults[site]; ok {
+		delete(faults, site)
+		active.Add(-1)
+	}
+}
+
+// Reset removes every registered fault.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int64(len(faults)))
+	faults = nil
+}
+
+// Check reports the fault registered at site: nil when none, the injected
+// error when one is enabled, or a panic when EnablePanic was used. The
+// no-fault fast path is a single atomic load.
+func Check(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f, ok := faults[site]
+	if ok && f.remaining > 0 {
+		f.remaining--
+		if f.remaining == 0 {
+			delete(faults, site)
+			active.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if f.panicMsg != "" {
+		panic("faultinject: " + f.panicMsg)
+	}
+	return f.err
+}
+
+// Sites returns the currently faulted site names, for diagnostics.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(faults))
+	for s := range faults {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckCleanByDefault(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Check("nowhere"); err != nil {
+		t.Fatalf("clean registry returned %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("boom")
+	Enable("site.a", want)
+	if err := Check("site.a"); !errors.Is(err, want) {
+		t.Fatalf("Check = %v, want %v", err, want)
+	}
+	// A second check still fires (persistent fault).
+	if err := Check("site.a"); !errors.Is(err, want) {
+		t.Fatalf("second Check = %v, want %v", err, want)
+	}
+	// Other sites are unaffected.
+	if err := Check("site.b"); err != nil {
+		t.Fatalf("unfaulted site returned %v", err)
+	}
+	Disable("site.a")
+	if err := Check("site.a"); err != nil {
+		t.Fatalf("disabled site returned %v", err)
+	}
+}
+
+func TestEnableNilDisables(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable("site.a", errors.New("boom"))
+	Enable("site.a", nil)
+	if err := Check("site.a"); err != nil {
+		t.Fatalf("Enable(nil) should disable, got %v", err)
+	}
+}
+
+func TestEnableOnce(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("transient")
+	EnableOnce("site.once", want, 2)
+	for i := 0; i < 2; i++ {
+		if err := Check("site.once"); !errors.Is(err, want) {
+			t.Fatalf("fire %d = %v, want %v", i, err, want)
+		}
+	}
+	if err := Check("site.once"); err != nil {
+		t.Fatalf("after n fires, Check = %v, want nil", err)
+	}
+	if n := len(Sites()); n != 0 {
+		t.Fatalf("self-disabled fault left %d sites", n)
+	}
+}
+
+func TestEnablePanic(t *testing.T) {
+	t.Cleanup(Reset)
+	EnablePanic("site.p", "induced")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Check should panic")
+		}
+	}()
+	Check("site.p")
+}
+
+func TestReset(t *testing.T) {
+	Enable("site.a", errors.New("a"))
+	Enable("site.b", errors.New("b"))
+	Reset()
+	if err := Check("site.a"); err != nil {
+		t.Fatalf("after Reset, Check = %v", err)
+	}
+	if n := len(Sites()); n != 0 {
+		t.Fatalf("after Reset, %d sites remain", n)
+	}
+}

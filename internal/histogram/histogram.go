@@ -97,7 +97,7 @@ func (h *Histogram) Counts() []int {
 // each bin contributes its count scaled by the overlapped fraction of its
 // width.
 func (h *Histogram) Selectivity(a, b float64) float64 {
-	if b < a || h.n == 0 {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a || h.n == 0 {
 		return 0
 	}
 	sum := 0.0

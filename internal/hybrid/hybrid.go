@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"selest/internal/bandwidth"
+	"selest/internal/faultinject"
 	"selest/internal/kde"
 	"selest/internal/kernel"
 	"selest/internal/xmath"
@@ -71,6 +72,9 @@ type Estimator struct {
 
 // New builds a hybrid estimator over the domain [lo, hi] from a sample set.
 func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
+	if err := faultinject.Check("hybrid.build"); err != nil {
+		return nil, err
+	}
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("hybrid: empty sample set")
 	}
@@ -122,6 +126,9 @@ func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
 // one sharp feature does not absorb the entire budget (this realises the
 // paper's "further change points are computed recursively").
 func changePoints(sorted []float64, lo, hi float64, cfg Config) ([]float64, error) {
+	if err := faultinject.Check("hybrid.changepoints"); err != nil {
+		return nil, fmt.Errorf("hybrid: change-point detection: %w", err)
+	}
 	h, err := bandwidth.NormalScaleBandwidth(sorted, kernel.Epanechnikov{})
 	if err != nil {
 		// Degenerate sample (e.g. all duplicates): no smooth structure to
@@ -258,7 +265,7 @@ func localEstimator(segment []float64, lo, hi float64) *kde.Estimator {
 // Selectivity returns the estimated selectivity σ̂(a,b) ∈ [0,1]: the
 // weighted sum of the per-bin estimates over the clipped query range.
 func (e *Estimator) Selectivity(a, b float64) float64 {
-	if b < a {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
 	a = math.Max(a, e.lo)

@@ -173,7 +173,7 @@ func (e *Estimator) Selectivity(a, b float64) float64 {
 // estimator conditioning each bin on its total mass) need the raw value —
 // clamping first would silently destroy additivity.
 func (e *Estimator) SelectivityUnclamped(a, b float64) float64 {
-	if b < a {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
 	var s float64
@@ -345,7 +345,7 @@ func (e *Estimator) SelectivityLinear(a, b float64) float64 {
 	if e.mode == BoundaryKernels {
 		return e.Selectivity(a, b)
 	}
-	if b < a {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
 	if e.mode == BoundaryReflect {

@@ -151,7 +151,7 @@ func (e *VariableEstimator) buildReflection() {
 
 // Selectivity returns the estimated selectivity σ̂(a,b) ∈ [0,1].
 func (e *VariableEstimator) Selectivity(a, b float64) float64 {
-	if b < a {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
 	if e.reflect {

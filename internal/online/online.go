@@ -46,6 +46,16 @@ type Config struct {
 	DriftCheckEvery int
 	// Seed drives the reservoir's RNG.
 	Seed uint64
+
+	// DegradeAfter is the strike count of the degradation ladder: after
+	// this many consecutive refit failures the estimator moves to the
+	// next Fallbacks builder. Zero defaults to 3; negative disables
+	// degradation.
+	DegradeAfter int
+	// Fallbacks are builders tried in order once the current builder has
+	// accumulated DegradeAfter consecutive failures — typically simpler,
+	// harder-to-break fits (an equi-depth histogram, pure sampling).
+	Fallbacks []Builder
 }
 
 func (c *Config) applyDefaults() {
@@ -58,22 +68,34 @@ func (c *Config) applyDefaults() {
 	if c.DriftCheckEvery == 0 {
 		c.DriftCheckEvery = c.ReservoirSize
 	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = 3
+	}
 }
 
 // Estimator is a self-maintaining online selectivity estimator. It is
 // safe for concurrent use.
+//
+// Refit failures never take down the query path: the previous fit keeps
+// serving, builder panics are contained into errors, and after
+// Config.DegradeAfter consecutive failures the estimator degrades to the
+// next Config.Fallbacks builder.
 type Estimator struct {
-	build Builder
-	cfg   Config
+	builders []Builder // primary builder followed by the fallbacks
+	cfg      Config
 
-	mu         sync.RWMutex
-	reservoir  *sample.Reservoir
-	fit        Fitted
-	fitSample  []float64 // the sample the current fit was built from
-	sinceRefit int
-	sinceCheck int
-	refits     int
-	inserts    int
+	mu           sync.RWMutex
+	reservoir    *sample.Reservoir
+	fit          Fitted
+	fitSample    []float64 // the sample the current fit was built from
+	sinceRefit   int
+	sinceCheck   int
+	refits       int
+	inserts      int
+	builderIdx   int   // current rung into builders
+	consecFails  int   // consecutive failures of the current builder
+	failedRefits int   // total refit failures over the estimator's life
+	lastErr      error // most recent refit failure
 }
 
 // New returns an online estimator that fits with build. The estimator
@@ -89,8 +111,16 @@ func New(build Builder, cfg Config) (*Estimator, error) {
 	if cfg.DriftAlpha < 0 || cfg.DriftAlpha >= 1 {
 		return nil, fmt.Errorf("online: drift alpha %v outside [0, 1)", cfg.DriftAlpha)
 	}
+	builders := make([]Builder, 0, 1+len(cfg.Fallbacks))
+	builders = append(builders, build)
+	for _, fb := range cfg.Fallbacks {
+		if fb == nil {
+			return nil, fmt.Errorf("online: nil fallback builder")
+		}
+		builders = append(builders, fb)
+	}
 	return &Estimator{
-		build:     build,
+		builders:  builders,
 		cfg:       cfg,
 		reservoir: sample.NewReservoir(xrand.New(cfg.Seed), cfg.ReservoirSize),
 	}, nil
@@ -135,19 +165,51 @@ func (e *Estimator) Flush() error {
 	return e.refitLocked()
 }
 
-// refitLocked rebuilds the fit; the caller holds mu.
+// refitLocked rebuilds the fit; the caller holds mu. On failure the
+// previous fit keeps serving: the failure is counted against the current
+// builder and, once the strike budget is spent, the estimator degrades to
+// the next fallback builder and retries it immediately so serving
+// freshness recovers without waiting out another refit cadence.
 func (e *Estimator) refitLocked() error {
 	smp := e.reservoir.Sample()
-	fit, err := e.build(smp)
-	if err != nil {
-		return fmt.Errorf("online: refit: %w", err)
+	fit, err := e.buildSafe(smp)
+	for err != nil {
+		e.failedRefits++
+		e.consecFails++
+		e.lastErr = err
+		if e.cfg.DegradeAfter <= 0 || e.consecFails < e.cfg.DegradeAfter || e.builderIdx+1 >= len(e.builders) {
+			// Back off until the next cadence boundary instead of
+			// retrying the failed fit on every insert.
+			e.sinceRefit = 0
+			e.sinceCheck = 0
+			return fmt.Errorf("online: refit (fit kept serving): %w", err)
+		}
+		e.builderIdx++
+		e.consecFails = 0
+		fit, err = e.buildSafe(smp)
 	}
 	e.fit = fit
 	e.fitSample = smp
 	e.sinceRefit = 0
 	e.sinceCheck = 0
 	e.refits++
+	e.consecFails = 0
 	return nil
+}
+
+// buildSafe invokes the current builder with panic containment, so a
+// builder bug degrades the refit instead of crashing the insert path.
+func (e *Estimator) buildSafe(smp []float64) (fit Fitted, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fit, err = nil, fmt.Errorf("builder panic: %v", r)
+		}
+	}()
+	fit, err = e.builders[e.builderIdx](smp)
+	if err == nil && fit == nil {
+		err = fmt.Errorf("builder returned no fit")
+	}
+	return fit, err
 }
 
 // Selectivity answers from the current fit; 0 before the first fit.
@@ -173,6 +235,46 @@ func (e *Estimator) Inserts() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.inserts
+}
+
+// FailedRefits returns how many refit attempts have failed over the
+// estimator's life (the previous fit kept serving through each).
+func (e *Estimator) FailedRefits() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.failedRefits
+}
+
+// ConsecutiveFailures returns the current builder's unbroken failure
+// streak; DegradeAfter of these move the estimator down the ladder.
+func (e *Estimator) ConsecutiveFailures() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.consecFails
+}
+
+// DegradationLevel returns how many rungs down the fallback ladder the
+// estimator currently builds from: 0 is the primary builder.
+func (e *Estimator) DegradationLevel() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.builderIdx
+}
+
+// LastError returns the most recent refit failure, or nil.
+func (e *Estimator) LastError() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastErr
+}
+
+// ResetReservoir drops the reservoir contents — e.g. after an upstream
+// truncation or schema change invalidates the accumulated sample — while
+// the current fit keeps serving until fresh records arrive.
+func (e *Estimator) ResetReservoir() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reservoir.Reset()
 }
 
 // Name identifies the estimator in experiment output.

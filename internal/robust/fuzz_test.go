@@ -1,0 +1,67 @@
+package robust
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"selest/internal/core"
+)
+
+// decodeSamples turns fuzz bytes into a float64 sample set, 8 bytes per
+// value, so the fuzzer can reach NaN/Inf bit patterns directly.
+func decodeSamples(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}
+
+func encodeSamples(vals ...float64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzBuild feeds adversarial sample sets and query bounds through the
+// robust ladder and asserts the invariant the package exists for: every
+// returned estimate is finite and in [0, 1], for every estimator the
+// ladder can produce.
+func FuzzBuild(f *testing.F) {
+	// Seed corpus: the adversarial shapes named in the robustness issue —
+	// NaN/Inf mixtures, constants, a single element, monotone duplicates.
+	f.Add(encodeSamples(math.NaN(), math.Inf(1), math.Inf(-1), 1), 0.0, 1.0)
+	f.Add(encodeSamples(5, 5, 5, 5, 5), 4.0, 6.0)
+	f.Add(encodeSamples(7), 7.0, 7.0)
+	f.Add(encodeSamples(1, 1, 2, 2, 3, 3, 4, 4), 2.0, 3.0)
+	f.Add(encodeSamples(0, 1e308, -1e308), math.Inf(-1), math.Inf(1))
+	f.Add(encodeSamples(), 0.0, 0.0)
+	f.Add(encodeSamples(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 10.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, data []byte, a, b float64) {
+		samples := decodeSamples(data)
+		for _, method := range []core.Method{"", core.Hybrid, core.EquiDepth, core.MaxDiff} {
+			est, rep, err := Build(samples, core.Options{Method: method})
+			if err != nil {
+				// Only a sample set with no finite values may fail.
+				for _, v := range samples {
+					if !math.IsNaN(v) && !math.IsInf(v, 0) {
+						t.Fatalf("method %q: Build failed on finite data %v: %v (report %s)", method, samples, err, rep)
+					}
+				}
+				continue
+			}
+			for _, q := range [][2]float64{{a, b}, {b, a}, {math.NaN(), b}, {a, math.NaN()}, {math.Inf(-1), math.Inf(1)}} {
+				s := est.Selectivity(q[0], q[1])
+				if math.IsNaN(s) || s < 0 || s > 1 {
+					t.Fatalf("method %q rung %s: Selectivity(%v, %v) = %v, want finite in [0,1]",
+						method, rep.Rung, q[0], q[1], s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package robust
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"selest/internal/core"
+	"selest/internal/faultinject"
+	"selest/internal/xrand"
+)
+
+// testSamples returns a smooth, well-behaved sample set in [0, 1000].
+func testSamples(n int) []float64 {
+	rng := xrand.New(7)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1000 * rng.Float64()
+	}
+	return out
+}
+
+func opts() core.Options {
+	return core.Options{DomainLo: 0, DomainHi: 1000}
+}
+
+func assertServes(t *testing.T, e *Estimator) {
+	t.Helper()
+	for _, q := range [][2]float64{{100, 300}, {-50, 2000}, {300, 100}, {math.NaN(), 500}, {0, math.NaN()}} {
+		s := e.Selectivity(q[0], q[1])
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Fatalf("Selectivity(%v, %v) = %v, want finite in [0,1]", q[0], q[1], s)
+		}
+	}
+}
+
+func TestBuildCleanServesRequestedRung(t *testing.T) {
+	e, rep, err := Build(testSamples(500), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.Kernel || rep.Degraded {
+		t.Fatalf("report = %s, want kernel rung undegraded", rep)
+	}
+	if len(rep.Attempts) != 0 {
+		t.Fatalf("clean build recorded attempts: %s", rep)
+	}
+	assertServes(t, e)
+	// The kernel rung should be reasonably accurate on uniform data.
+	if s := e.Selectivity(0, 500); math.Abs(s-0.5) > 0.1 {
+		t.Fatalf("Selectivity(0, 500) = %v, want ≈0.5", s)
+	}
+}
+
+// TestLadderRungByRung forces a failure at each rung in turn and asserts
+// the build lands exactly one rung lower, with the Report naming the
+// failed stage.
+func TestLadderRungByRung(t *testing.T) {
+	steps := []struct {
+		site string
+		want core.Method
+	}{
+		{"core.build.kernel", core.EquiDepth},
+		{"core.build.equi-depth", core.Sampling},
+		{"core.build.sampling", core.Uniform},
+	}
+	injected := errors.New("injected fit failure")
+	for i, step := range steps {
+		t.Run(string(step.want), func(t *testing.T) {
+			t.Cleanup(faultinject.Reset)
+			for _, s := range steps[:i+1] {
+				faultinject.Enable(s.site, injected)
+			}
+			e, rep, err := Build(testSamples(500), opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Rung != step.want {
+				t.Fatalf("rung = %s, want %s (report: %s)", rep.Rung, step.want, rep)
+			}
+			if !rep.Degraded {
+				t.Fatal("report should mark the build degraded")
+			}
+			if len(rep.Attempts) != i+1 {
+				t.Fatalf("attempts = %d, want %d", len(rep.Attempts), i+1)
+			}
+			for j, a := range rep.Attempts {
+				if !strings.Contains(a.Err, "injected fit failure") {
+					t.Fatalf("attempt %d error %q does not name the injected failure", j, a.Err)
+				}
+			}
+			assertServes(t, e)
+		})
+	}
+}
+
+// TestLadderBandwidthRuleFailure injects the failure below core — in the
+// bandwidth rule itself — and asserts the kernel rung steps down.
+func TestLadderBandwidthRuleFailure(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("bandwidth.normal-scale", errors.New("rule diverged"))
+	e, rep, err := Build(testSamples(500), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.EquiDepth {
+		t.Fatalf("rung = %s, want equi-depth (report: %s)", rep.Rung, rep)
+	}
+	if len(rep.Attempts) != 1 || !strings.Contains(rep.Attempts[0].Err, "rule diverged") {
+		t.Fatalf("report does not name the bandwidth failure: %s", rep)
+	}
+	assertServes(t, e)
+}
+
+// TestLadderLSCVFailure exercises the lscv fault site through a kernel
+// build configured with the LSCV rule.
+func TestLadderLSCVFailure(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("bandwidth.lscv", errors.New("lscv diverged"))
+	o := opts()
+	o.Rule = core.LSCV
+	_, rep, err := Build(testSamples(200), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.EquiDepth {
+		t.Fatalf("rung = %s, want equi-depth (report: %s)", rep.Rung, rep)
+	}
+}
+
+// TestLadderHybridFailure asks for the hybrid method and fails its
+// change-point detection; the ladder must fall through to the kernel rung.
+func TestLadderHybridFailure(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("hybrid.changepoints", errors.New("empty bins"))
+	_, rep, err := Build(testSamples(500), core.Options{Method: core.Hybrid, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.Kernel {
+		t.Fatalf("rung = %s, want kernel (report: %s)", rep.Rung, rep)
+	}
+	if len(rep.Attempts) != 1 || !strings.Contains(rep.Attempts[0].Err, "change-point") {
+		t.Fatalf("report does not name the hybrid stage: %s", rep)
+	}
+}
+
+// TestFitPanicContained turns a rung's failure into a panic and asserts
+// it is recovered into a failed attempt, not a crash.
+func TestFitPanicContained(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.EnablePanic("core.build.kernel", "index out of range [4097]")
+	e, rep, err := Build(testSamples(500), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.EquiDepth {
+		t.Fatalf("rung = %s, want equi-depth", rep.Rung)
+	}
+	if len(rep.Attempts) != 1 || !rep.Attempts[0].Panicked {
+		t.Fatalf("panic not recorded as a recovered attempt: %s", rep)
+	}
+	assertServes(t, e)
+}
+
+// TestAllRungsFail exhausts the ladder and checks the terminal error
+// names every rung.
+func TestAllRungsFail(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	for _, m := range DefaultLadder() {
+		faultinject.Enable("core.build."+string(m), errors.New("total outage"))
+	}
+	_, rep, err := Build(testSamples(100), opts())
+	if err == nil {
+		t.Fatal("exhausted ladder should error")
+	}
+	if len(rep.Attempts) != len(DefaultLadder()) {
+		t.Fatalf("attempts = %d, want %d", len(rep.Attempts), len(DefaultLadder()))
+	}
+}
+
+func TestSanitizeScrubsAndClamps(t *testing.T) {
+	samples := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -50, 1200, 100, 200, 300, 400, 500}
+	e, rep, err := Build(samples, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sanitize.Dropped != 3 || rep.Sanitize.Clamped != 2 || rep.Sanitize.Kept != 7 {
+		t.Fatalf("sanitize = %+v", rep.Sanitize)
+	}
+	assertServes(t, e)
+}
+
+func TestConstantSampleYieldsPointMass(t *testing.T) {
+	for _, samples := range [][]float64{
+		{42, 42, 42, 42},
+		{7},
+		{math.NaN(), 9, 9, math.Inf(1)},
+	} {
+		e, rep, err := Build(samples, core.Options{})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", samples, err)
+		}
+		if rep.Rung != PointMassMethod || !rep.Sanitize.Constant {
+			t.Fatalf("Build(%v) report = %s, want point-mass", samples, rep)
+		}
+		var v float64 // the finite constant of the sample set
+		for _, x := range samples {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = x
+				break
+			}
+		}
+		if s := e.Selectivity(v-1, v+1); s != 1 {
+			t.Fatalf("point mass covering query = %v, want 1", s)
+		}
+		if s := e.Selectivity(v+1, v+2); s != 0 {
+			t.Fatalf("point mass disjoint query = %v, want 0", s)
+		}
+		if s := e.Selectivity(v+1, v-1); s != 1 {
+			t.Fatalf("point mass inverted covering query = %v, want 1 after swap", s)
+		}
+	}
+}
+
+func TestNoFiniteSamplesErrors(t *testing.T) {
+	if _, _, err := Build([]float64{math.NaN(), math.Inf(1)}, core.Options{}); err == nil {
+		t.Fatal("all-non-finite sample set should error")
+	}
+	if _, _, err := Build(nil, core.Options{}); err == nil {
+		t.Fatal("empty sample set should error")
+	}
+}
+
+func TestDomainAutoDerived(t *testing.T) {
+	samples := testSamples(300)
+	e, rep, err := Build(samples, core.Options{}) // no domain given
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.DomainHi > rep.DomainLo) {
+		t.Fatalf("derived domain [%v, %v] is empty", rep.DomainLo, rep.DomainHi)
+	}
+	assertServes(t, e)
+}
+
+// panicky is an estimator whose Selectivity always panics, standing in
+// for a latent bug in a served fit.
+type panicky struct{}
+
+func (panicky) Selectivity(a, b float64) float64 { panic("latent bug") }
+func (panicky) Name() string                     { return "panicky" }
+
+func TestQueryPanicDegradesToUniform(t *testing.T) {
+	e := &Estimator{inner: panicky{}, lo: 0, hi: 100, report: &Report{}}
+	if s := e.Selectivity(0, 50); s != 0.5 {
+		t.Fatalf("panicking fit should fall back to uniform 0.5, got %v", s)
+	}
+	if s := e.Selectivity(-10, 200); s != 1 {
+		t.Fatalf("covering query fallback = %v, want 1", s)
+	}
+	if s := e.Selectivity(150, 200); s != 0 {
+		t.Fatalf("disjoint query fallback = %v, want 0", s)
+	}
+	if n := e.QueryPanics(); n != 3 {
+		t.Fatalf("QueryPanics = %d, want 3", n)
+	}
+}
+
+func TestGuardNormalizesQueries(t *testing.T) {
+	e, _, err := Build(testSamples(500), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := e.Selectivity(100, 400)
+	if rev := e.Selectivity(400, 100); rev != fwd {
+		t.Fatalf("inverted query = %v, want swapped answer %v", rev, fwd)
+	}
+	if s := e.Selectivity(math.NaN(), math.NaN()); s != 0 {
+		t.Fatalf("NaN query = %v, want 0", s)
+	}
+	if s := e.Selectivity(math.Inf(-1), math.Inf(1)); math.IsNaN(s) || s < 0 || s > 1 {
+		t.Fatalf("infinite query = %v, want finite in [0,1]", s)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("core.build.kernel", errors.New("boom"))
+	_, rep, err := Build(testSamples(100), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"rung=equi-depth", "requested kernel", "kernel failed", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package sample
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"selest/internal/xrand"
@@ -76,6 +77,13 @@ func (rv *Reservoir) Sample() []float64 {
 // Seen returns how many elements have been offered.
 func (rv *Reservoir) Seen() int { return rv.seen }
 
+// Reset drops the reservoir contents and the seen count, so subsequent
+// Adds rebuild a uniform sample of the post-reset stream only.
+func (rv *Reservoir) Reset() {
+	rv.seen = 0
+	rv.items = rv.items[:0]
+}
+
 // Len returns how many elements the reservoir currently holds.
 func (rv *Reservoir) Len() int { return len(rv.items) }
 
@@ -95,7 +103,7 @@ func NewPureEstimator(samples []float64) *PureEstimator {
 
 // Selectivity returns the estimated selectivity σ̂(a,b) ∈ [0,1].
 func (p *PureEstimator) Selectivity(a, b float64) float64 {
-	if b < a || len(p.sorted) == 0 {
+	if math.IsNaN(a) || math.IsNaN(b) || b < a || len(p.sorted) == 0 {
 		return 0
 	}
 	lo := sort.SearchFloat64s(p.sorted, a)

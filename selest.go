@@ -40,6 +40,7 @@ package selest
 import (
 	"selest/internal/core"
 	"selest/internal/kde"
+	"selest/internal/robust"
 )
 
 // Estimator is a range-selectivity estimator. Selectivity returns the
@@ -122,8 +123,40 @@ type Options = core.Options
 // Build constructs an estimator from a sample set of attribute values.
 // Samples are copied; the estimator is immutable and safe for concurrent
 // use.
+//
+// With Options.Robust set, construction routes through the
+// graceful-degradation ladder (see BuildRobust): the sample set is
+// sanitized, fit failures step down to simpler methods, and the returned
+// estimator never panics or answers outside [0, 1].
 func Build(samples []float64, opts Options) (Estimator, error) {
+	if opts.Robust {
+		est, _, err := robust.Build(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return est, nil
+	}
 	return core.Build(samples, opts)
+}
+
+// RobustReport describes how a robust build arrived at its estimator:
+// the rung of the degradation ladder that serves, the failed attempts
+// above it, and what input sanitization scrubbed.
+type RobustReport = robust.Report
+
+// RobustEstimator is the panic-safe serving wrapper returned by
+// BuildRobust, exposing the build Report and a count of recovered
+// query-time panics.
+type RobustEstimator = robust.Estimator
+
+// BuildRobust constructs an estimator through the graceful-degradation
+// ladder: NaN/Inf samples are scrubbed, out-of-domain values clamped, a
+// constant sample yields a point-mass estimator, and a fit failure in
+// the requested method steps down Kernel(boundary kernels) → EquiDepth →
+// Sampling → Uniform. The report records the rung used and every failed
+// attempt. It fails only when the sample set has no finite values.
+func BuildRobust(samples []float64, opts Options) (*RobustEstimator, *RobustReport, error) {
+	return robust.Build(samples, opts)
 }
 
 // Methods lists every method Build accepts, in the paper's comparison

@@ -74,3 +74,35 @@ func TestFacadeRulesAndBoundaries(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildRobustDegradesAndReports(t *testing.T) {
+	samples := []float64{math.NaN(), math.Inf(1), 5, 5, 5, 5} // constant after scrubbing
+	est, rep, err := selest.BuildRobust(samples, selest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sanitize.Dropped != 2 || !rep.Sanitize.Constant {
+		t.Fatalf("sanitize report = %+v", rep.Sanitize)
+	}
+	if s := est.Selectivity(4, 6); s != 1 {
+		t.Fatalf("point mass covering query = %v, want 1", s)
+	}
+}
+
+func TestOptionsRobustRoutesThroughLadder(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i % 10) // heavy duplicates, still non-constant
+	}
+	est, err := selest.Build(samples, selest.Options{Robust: true, DomainLo: 0, DomainHi: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverted and NaN queries are normalized by the robust guard.
+	if a, b := est.Selectivity(2, 7), est.Selectivity(7, 2); a != b {
+		t.Fatalf("inverted query %v != forward %v", b, a)
+	}
+	if s := est.Selectivity(math.NaN(), 5); s != 0 {
+		t.Fatalf("NaN query = %v, want 0", s)
+	}
+}

@@ -1,10 +1,11 @@
-# Development and CI entry points. `make ci` is the gate: vet, the full
-# test suite, and the race detector over the concurrency-sensitive
-# packages (online serving through refit failures, robust ladder).
+# Development and CI entry points. `make ci` is the gate: vet (and
+# staticcheck when installed), the full test suite, and the race detector
+# over the concurrency-sensitive packages (online serving through refit
+# failures, robust ladder, telemetry registry).
 
 GO ?= go
 
-.PHONY: build test vet race race-online fuzz ci
+.PHONY: build test vet staticcheck race race-online fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -27,4 +28,19 @@ race-online:
 fuzz:
 	$(GO) test -fuzz FuzzBuild -fuzztime 30s ./internal/robust/
 
-ci: vet test race
+# staticcheck is optional tooling: run it when installed, skip quietly
+# when not, so ci works on a bare Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# The instrumented-vs-bare benchmark pairs: the committed evidence that
+# telemetry stays within the overhead budget. Writes BENCH_telemetry.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem ./internal/telemetry/ . \
+		| tee /dev/stderr | sh scripts/bench2json.sh > BENCH_telemetry.json
+
+ci: vet staticcheck test race

@@ -17,17 +17,21 @@ import (
 	"strings"
 	"time"
 
+	"selest"
 	"selest/internal/experiments"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids to run, or 'all' (ids: "+strings.Join(experiments.IDs(), ", ")+")")
-		queries = flag.Int("queries", 1000, "queries per workload (paper: 1000)")
-		samples = flag.Int("samples", 2000, "sample-set size (paper: 2000)")
-		seed    = flag.Uint64("seed", 0, "RNG seed (0 = the default catalog seed)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		raw     = flag.Bool("raw", false, "also print every series point (the raw figure data)")
+		run         = flag.String("run", "all", "comma-separated experiment ids to run, or 'all' (ids: "+strings.Join(experiments.IDs(), ", ")+")")
+		queries     = flag.Int("queries", 1000, "queries per workload (paper: 1000)")
+		samples     = flag.Int("samples", 2000, "sample-set size (paper: 2000)")
+		seed        = flag.Uint64("seed", 0, "RNG seed (0 = the default catalog seed)")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		raw         = flag.Bool("raw", false, "also print every series point (the raw figure data)")
+		methods     = flag.String("methods", "", "comma-separated method subset for the method-sweep drivers (default: every method)")
+		metrics     = flag.Bool("metrics", false, "dump telemetry (Prometheus text format) to stderr before exiting")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
 	)
 	flag.Parse()
 
@@ -38,10 +42,40 @@ func main() {
 		return
 	}
 
+	var methodSet []selest.Method
+	if *methods != "" {
+		for _, name := range strings.Split(*methods, ",") {
+			m, err := selest.ParseMethod(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			methodSet = append(methodSet, m)
+		}
+	}
+
+	if *metricsAddr != "" {
+		ln, err := selest.StartMetricsServer(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s/metrics\n", ln.Addr())
+	}
+	if *metrics {
+		defer func() {
+			if err := selest.WriteMetricsText(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics dump: %v\n", err)
+			}
+		}()
+	}
+
 	env := experiments.NewEnv(experiments.Config{
 		Seed:       *seed,
 		SampleSize: *samples,
 		QueryCount: *queries,
+		Methods:    methodSet,
 	})
 
 	var drivers []experiments.Driver

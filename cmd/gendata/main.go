@@ -18,8 +18,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"selest"
 	"selest/internal/dataset"
 	"selest/internal/query"
+	"selest/internal/sample"
 	"selest/internal/xrand"
 )
 
@@ -29,8 +31,18 @@ func main() {
 		seed    = flag.Uint64("seed", dataset.DefaultSeed, "RNG seed")
 		only    = flag.String("only", "", "comma-separated file names to generate (default: all)")
 		queries = flag.Int("queries", 0, "also write query workloads with this many queries per size (0 = none)")
+		verify  = flag.String("verify", "", "after generating each file, smoke-check it by fitting this estimation method to a sample")
 	)
 	flag.Parse()
+
+	var verifyMethod selest.Method
+	if *verify != "" {
+		m, err := selest.ParseMethod(*verify)
+		if err != nil {
+			fail(err)
+		}
+		verifyMethod = m
+	}
 
 	names := dataset.Names()
 	if *only != "" {
@@ -56,6 +68,13 @@ func main() {
 		}
 		fmt.Printf("%s  ->  %s\n", f, path)
 
+		if verifyMethod != "" {
+			if err := verifyFile(f, verifyMethod, *seed); err != nil {
+				fail(fmt.Errorf("verify %s: %w", name, err))
+			}
+			fmt.Printf("  verified: %s fits and answers\n", verifyMethod)
+		}
+
 		if *queries > 0 {
 			lo, hi := f.Domain()
 			for _, size := range query.StandardSizes {
@@ -78,6 +97,31 @@ func main() {
 // base names like "rr1_22".
 func flattenName(name string) string {
 	return strings.NewReplacer("(", "_", ")", "").Replace(name)
+}
+
+// verifyFile smoke-checks a freshly generated file: draw the paper's
+// sample size, fit the requested method over the file's domain, and
+// require a finite full-domain selectivity near 1. It catches a broken
+// generator (or a method that cannot fit its output) at generation time
+// rather than deep inside an experiment run.
+func verifyFile(f *dataset.File, method selest.Method, seed uint64) error {
+	n := 2000
+	if n > len(f.Records) {
+		n = len(f.Records)
+	}
+	smp, err := sample.WithoutReplacement(xrand.New(seed), f.Records, n)
+	if err != nil {
+		return err
+	}
+	lo, hi := f.Domain()
+	est, err := selest.Build(smp, selest.Options{Method: method, DomainLo: lo, DomainHi: hi})
+	if err != nil {
+		return err
+	}
+	if s := est.Selectivity(lo, hi); s < 0.5 || s > 1 {
+		return fmt.Errorf("full-domain selectivity %v, want ~1", s)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -37,19 +37,21 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "input: text file of numbers, .seld file, or '-' for stdin")
-		method    = flag.String("method", "kernel", "estimation method: "+methodList())
-		bins      = flag.Int("bins", 0, "histogram bins (0 = normal scale rule)")
-		bandwidth = flag.Float64("bandwidth", 0, "kernel bandwidth (0 = rule)")
-		rule      = flag.String("rule", "normal-scale", "smoothing rule: normal-scale | dpi | lscv")
-		boundary  = flag.String("boundary", "kernels", "kernel boundary treatment: none | reflect | kernels")
-		samples   = flag.Int("samples", 2000, "sample-set size drawn from the data")
-		seed      = flag.Uint64("seed", 1, "sampling seed")
-		compare   = flag.Bool("compare", false, "print every method's estimate next to the exact answer")
-		robust    = flag.Bool("robust", false, "build through the graceful-degradation ladder: sanitize input, fall back to simpler methods on fit failure, guard every estimate")
-		column    = flag.String("column", "", "CSV input: column name or 0-based index (default: first field)")
-		header    = flag.Bool("header", false, "CSV input: first row is a header")
-		evaluate  = flag.String("evaluate", "", "evaluate against a .selq workload file instead of answering ad-hoc queries")
+		dataPath    = flag.String("data", "", "input: text file of numbers, .seld file, or '-' for stdin")
+		method      = flag.String("method", "kernel", "estimation method: "+methodList())
+		bins        = flag.Int("bins", 0, "histogram bins (0 = normal scale rule)")
+		bandwidth   = flag.Float64("bandwidth", 0, "kernel bandwidth (0 = rule)")
+		rule        = flag.String("rule", "normal-scale", "smoothing rule: normal-scale | dpi | lscv")
+		boundary    = flag.String("boundary", "kernels", "kernel boundary treatment: none | reflect | kernels")
+		samples     = flag.Int("samples", 2000, "sample-set size drawn from the data")
+		seed        = flag.Uint64("seed", 1, "sampling seed")
+		compare     = flag.Bool("compare", false, "print every method's estimate next to the exact answer")
+		robust      = flag.Bool("robust", false, "build through the graceful-degradation ladder: sanitize input, fall back to simpler methods on fit failure, guard every estimate")
+		column      = flag.String("column", "", "CSV input: column name or 0-based index (default: first field)")
+		header      = flag.Bool("header", false, "CSV input: first row is a header")
+		evaluate    = flag.String("evaluate", "", "evaluate against a .selq workload file instead of answering ad-hoc queries")
+		metrics     = flag.Bool("metrics", false, "dump telemetry (Prometheus text format) to stderr before exiting")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (e.g. :9090) while running")
 	)
 	flag.Parse()
 
@@ -58,6 +60,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       selest -data FILE [flags] -evaluate workload.selq")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		ln, err := selest.StartMetricsServer(*metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "selest: metrics on http://%s/metrics\n", ln.Addr())
+	}
+	if *metrics {
+		defer func() {
+			if err := selest.WriteMetricsText(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "selest: metrics dump: %v\n", err)
+			}
+		}()
 	}
 
 	values, err := readValuesOpts(*dataPath, *column, *header)
@@ -89,25 +107,26 @@ func main() {
 		fail(err)
 	}
 
-	var bmode selest.BoundaryMode
-	switch *boundary {
-	case "none":
-		bmode = selest.BoundaryNone
-	case "reflect":
-		bmode = selest.BoundaryReflect
-	case "kernels":
-		bmode = selest.BoundaryKernels
-	default:
-		fail(fmt.Errorf("unknown boundary mode %q", *boundary))
+	m, err := selest.ParseMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	r, err := selest.ParseBandwidthRule(*rule)
+	if err != nil {
+		fail(err)
+	}
+	bmode, err := selest.ParseBoundaryMode(*boundary)
+	if err != nil {
+		fail(err)
 	}
 
 	opts := selest.Options{
-		Method:    selest.Method(*method),
+		Method:    m,
 		DomainLo:  lo,
 		DomainHi:  hi,
 		Bins:      *bins,
 		Bandwidth: *bandwidth,
-		Rule:      selest.BandwidthRule(*rule),
+		Rule:      r,
 		Boundary:  bmode,
 	}
 

@@ -9,6 +9,7 @@ package bandwidth
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"selest/internal/faultinject"
 	"selest/internal/kde"
@@ -64,6 +65,7 @@ func AMISEKernel(h float64, n int, k kernel.Kernel, roughnessSecond float64) flo
 // equi-width bin width (eq. 8): h ≈ (24√π)^(1/3) · s · n^(−1/3), where the
 // scale s is estimated as min(stddev, IQR/1.348) by stats.Scale.
 func NormalScaleBinWidth(samples []float64) (float64, error) {
+	defer ruleNanosNSBinWidth.ObserveSince(time.Now())
 	if err := faultinject.Check("bandwidth.normal-scale-binwidth"); err != nil {
 		return 0, err
 	}
@@ -86,6 +88,7 @@ func NormalScaleBinWidth(samples []float64) (float64, error) {
 //
 // which for the Epanechnikov kernel is the paper's h ≈ 2.345·s·n^(−1/5).
 func NormalScaleBandwidth(samples []float64, k kernel.Kernel) (float64, error) {
+	defer ruleNanosNormalScale.ObserveSince(time.Now())
 	if err := faultinject.Check("bandwidth.normal-scale"); err != nil {
 		return 0, err
 	}
@@ -138,6 +141,7 @@ func NormalScaleBins(samples []float64, lo, hi float64, maxBins int) (int, error
 // The pilot estimates use reflection at [lo, hi] so the boundary loss does
 // not bias the functional.
 func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64) (float64, error) {
+	defer ruleNanosDPI.ObserveSince(time.Now())
 	if err := faultinject.Check("bandwidth.dpi"); err != nil {
 		return 0, err
 	}
@@ -179,6 +183,7 @@ func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64)
 // iterations estimate ∫f'² from a pilot kernel estimate and plug it into
 // eq. 7.
 func DPIBinWidth(samples []float64, steps int, lo, hi float64) (float64, error) {
+	defer ruleNanosDPIBinWidth.ObserveSince(time.Now())
 	if err := faultinject.Check("bandwidth.dpi-binwidth"); err != nil {
 		return 0, err
 	}

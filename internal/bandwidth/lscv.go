@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"selest/internal/faultinject"
 	"selest/internal/kernel"
@@ -20,6 +21,7 @@ import (
 // data-driven (no normal reference), at the price of O(grid·n·k) work and
 // the well-known tendency to undersmooth on heavy-duplicate data.
 func LSCVBandwidth(samples []float64, k kernel.Kernel, hLo, hHi float64, gridN int) (float64, error) {
+	defer ruleNanosLSCV.ObserveSince(time.Now())
 	if err := faultinject.Check("bandwidth.lscv"); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,20 @@
+package bandwidth
+
+import (
+	"selest/internal/telemetry"
+)
+
+// Rule-runtime telemetry. The closed-form-bandwidth-selector literature
+// motivates tracking this: at production sample sizes the selector
+// dominates fit time (DPI builds pilot densities over a 512-point grid,
+// LSCV scans a 48-point bandwidth grid), so the per-rule latency
+// histograms show exactly where fit budget goes. Handles are captured at
+// init; each rule records one observation per invocation (cold path —
+// rules run once per fit, not per query).
+var (
+	ruleNanosNormalScale = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale"))
+	ruleNanosNSBinWidth  = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale-binwidth"))
+	ruleNanosDPI         = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi"))
+	ruleNanosDPIBinWidth = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi-binwidth"))
+	ruleNanosLSCV        = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "lscv"))
+)

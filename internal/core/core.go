@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"selest/internal/bandwidth"
 	"selest/internal/faultinject"
@@ -143,17 +144,29 @@ type Options struct {
 }
 
 // Build constructs the estimator described by opts from the sample set.
+// Structural failures wrap the typed sentinel errors (ErrEmptySample,
+// ErrInvalidDomain, ErrBadOption) so callers can branch with errors.Is.
+// Every successful fit records its method, duration, and derived
+// smoothing parameter into the telemetry registry.
 func Build(samples []float64, opts Options) (Estimator, error) {
-	if len(samples) == 0 {
-		return nil, fmt.Errorf("core: empty sample set")
-	}
-	if !(opts.DomainHi > opts.DomainLo) {
-		return nil, fmt.Errorf("core: domain [%v, %v] is empty", opts.DomainLo, opts.DomainHi)
-	}
 	method := opts.Method
 	if method == "" {
 		method = Kernel
 	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: build %s: %w", method, ErrEmptySample)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", method, err)
+	}
+	start := time.Now()
+	est, err := dispatch(samples, opts, method)
+	recordFit(method, start, err)
+	return est, err
+}
+
+// dispatch routes the validated option set to the method's builder.
+func dispatch(samples []float64, opts Options, method Method) (Estimator, error) {
 	if err := faultinject.Check("core.build." + string(method)); err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", method, err)
 	}
@@ -163,31 +176,31 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 	case Uniform:
 		return histogram.BuildUniform(samples, opts.DomainLo, opts.DomainHi)
 	case EquiWidth:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
 		return histogram.BuildEquiWidth(samples, k, opts.DomainLo, opts.DomainHi)
 	case EquiDepth:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
 		return histogram.BuildEquiDepth(samples, k)
 	case MaxDiff:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
 		return histogram.BuildMaxDiff(samples, k)
 	case VOptimal:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
 		return histogram.BuildVOptimal(samples, k, 0)
 	case EndBiased:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +216,7 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 			DomainHi:     opts.DomainHi,
 		})
 	case ASH:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
@@ -213,13 +226,13 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 		}
 		return histogram.BuildASH(samples, k, shifts, opts.DomainLo, opts.DomainHi)
 	case FrequencyPolygon:
-		k, err := binCount(samples, opts)
+		k, err := binCount(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
 		return histogram.BuildFrequencyPolygon(samples, k, opts.DomainLo, opts.DomainHi)
 	case Kernel:
-		h, err := kernelBandwidth(samples, opts)
+		h, err := kernelBandwidth(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +244,7 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 			DomainHi:  opts.DomainHi,
 		})
 	case VariableKernel:
-		h, err := kernelBandwidth(samples, opts)
+		h, err := kernelBandwidth(samples, opts, method)
 		if err != nil {
 			return nil, err
 		}
@@ -245,13 +258,15 @@ func Build(samples []float64, opts Options) (Estimator, error) {
 	case Hybrid:
 		return hybrid.New(samples, opts.DomainLo, opts.DomainHi, opts.HybridConfig)
 	default:
-		return nil, fmt.Errorf("core: unknown method %q", method)
+		return nil, fmt.Errorf("core: unknown method %q (valid: %s): %w", method, methodNames(), ErrBadOption)
 	}
 }
 
-// binCount resolves the histogram bin count from Options.
-func binCount(samples []float64, opts Options) (int, error) {
+// binCount resolves the histogram bin count from Options, recording the
+// derived count for the method in the telemetry registry.
+func binCount(samples []float64, opts Options, method Method) (int, error) {
 	if opts.Bins > 0 {
+		recordBins(method, opts.Bins)
 		return opts.Bins, nil
 	}
 	maxBins := opts.MaxBins
@@ -276,19 +291,23 @@ func binCount(samples []float64, opts Options) (int, error) {
 		}
 		width, err = bandwidth.DPIBinWidth(samples, steps, opts.DomainLo, opts.DomainHi)
 	case LSCV:
-		return 0, fmt.Errorf("core: LSCV selects kernel bandwidths, not bin counts")
+		return 0, fmt.Errorf("core: LSCV selects kernel bandwidths, not bin counts: %w", ErrBadOption)
 	default:
-		return 0, fmt.Errorf("core: unknown bandwidth rule %q", rule)
+		return 0, fmt.Errorf("core: unknown bandwidth rule %q (valid: %s): %w", rule, ruleNames(), ErrBadOption)
 	}
 	if err != nil {
 		return 0, err
 	}
-	return bandwidth.BinsForWidth(width, opts.DomainLo, opts.DomainHi, maxBins), nil
+	k := bandwidth.BinsForWidth(width, opts.DomainLo, opts.DomainHi, maxBins)
+	recordBins(method, k)
+	return k, nil
 }
 
-// kernelBandwidth resolves the kernel bandwidth from Options.
-func kernelBandwidth(samples []float64, opts Options) (float64, error) {
+// kernelBandwidth resolves the kernel bandwidth from Options, recording
+// the derived bandwidth for the method in the telemetry registry.
+func kernelBandwidth(samples []float64, opts Options, method Method) (float64, error) {
 	if opts.Bandwidth > 0 {
+		recordBandwidth(method, opts.Bandwidth)
 		return opts.Bandwidth, nil
 	}
 	k := opts.Kernel
@@ -299,19 +318,28 @@ func kernelBandwidth(samples []float64, opts Options) (float64, error) {
 	if rule == "" {
 		rule = NormalScale
 	}
+	var (
+		h   float64
+		err error
+	)
 	switch rule {
 	case NormalScale:
-		return bandwidth.NormalScaleBandwidth(samples, k)
+		h, err = bandwidth.NormalScaleBandwidth(samples, k)
 	case DPI:
 		steps := opts.DPISteps
 		if steps == 0 {
 			steps = 2
 		}
-		return bandwidth.DPIBandwidth(samples, k, steps, opts.DomainLo, opts.DomainHi)
+		h, err = bandwidth.DPIBandwidth(samples, k, steps, opts.DomainLo, opts.DomainHi)
 	case LSCV:
 		span := opts.DomainHi - opts.DomainLo
-		return bandwidth.LSCVBandwidth(samples, k, span/1e4, span/2, 48)
+		h, err = bandwidth.LSCVBandwidth(samples, k, span/1e4, span/2, 48)
 	default:
-		return 0, fmt.Errorf("core: unknown bandwidth rule %q", rule)
+		return 0, fmt.Errorf("core: unknown bandwidth rule %q (valid: %s): %w", rule, ruleNames(), ErrBadOption)
 	}
+	if err != nil {
+		return 0, err
+	}
+	recordBandwidth(method, h)
+	return h, nil
 }

@@ -103,7 +103,7 @@ func TestBuildWaveletCoefficients(t *testing.T) {
 
 func TestKernelBandwidthLSCVPath(t *testing.T) {
 	samples := testSamples(400, 25)
-	h, err := kernelBandwidth(samples, Options{Rule: LSCV, DomainLo: 0, DomainHi: 1000})
+	h, err := kernelBandwidth(samples, Options{Rule: LSCV, DomainLo: 0, DomainHi: 1000}, Kernel)
 	if err != nil {
 		t.Fatal(err)
 	}

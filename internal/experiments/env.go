@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"selest/internal/core"
 	"selest/internal/dataset"
 	"selest/internal/query"
 	"selest/internal/sample"
@@ -25,6 +26,9 @@ type Config struct {
 	SampleSize int
 	// QueryCount is the number of queries per workload (paper: 1,000).
 	QueryCount int
+	// Methods, when non-empty, restricts the method-sweep drivers
+	// (ext-all) to this subset instead of every implemented method.
+	Methods []core.Method
 }
 
 func (c *Config) applyDefaults() {
@@ -73,6 +77,16 @@ func NewEnv(cfg Config) *Env {
 
 // Config returns the environment configuration (defaults applied).
 func (e *Env) Config() Config { return e.cfg }
+
+// Methods returns the method set the sweep drivers compare: the
+// configured subset when one was given, every implemented method
+// otherwise.
+func (e *Env) Methods() []core.Method {
+	if len(e.cfg.Methods) > 0 {
+		return append([]core.Method(nil), e.cfg.Methods...)
+	}
+	return core.Methods()
+}
 
 // File returns the named catalog data file, generating it on first use.
 func (e *Env) File(name string) (*dataset.File, error) {

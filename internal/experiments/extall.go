@@ -16,7 +16,7 @@ import (
 // consult before picking an estimator, and it exercises every method of
 // the public API in one sweep.
 func ExtAll(env *Env) (*Report, error) {
-	methods := core.Methods()
+	methods := env.Methods()
 	cols := make([]string, 0, len(methods))
 	for _, m := range methods {
 		cols = append(cols, string(m))

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"selest/internal/kernel"
+	"selest/internal/telemetry"
 )
 
 // BoundaryMode selects how estimation near the domain boundaries is
@@ -50,6 +52,22 @@ func (m BoundaryMode) String() string {
 		return "boundary-kernels"
 	default:
 		return fmt.Sprintf("BoundaryMode(%d)", int(m))
+	}
+}
+
+// ParseBoundaryMode resolves a boundary-treatment name as written on a
+// command line: "none", "reflect", or "kernels"/"boundary-kernels"
+// (case-insensitive, surrounding space ignored).
+func ParseBoundaryMode(s string) (BoundaryMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return BoundaryNone, nil
+	case "reflect":
+		return BoundaryReflect, nil
+	case "kernels", "boundary-kernels":
+		return BoundaryKernels, nil
+	default:
+		return BoundaryNone, fmt.Errorf("kde: unknown boundary mode %q (valid: none, reflect, kernels)", s)
 	}
 }
 
@@ -176,6 +194,9 @@ func (e *Estimator) SelectivityUnclamped(a, b float64) float64 {
 	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
+	if telemetry.Enabled() {
+		kdeQueries.Inc()
+	}
 	var s float64
 	switch e.mode {
 	case BoundaryKernels:
@@ -232,6 +253,10 @@ func (e *Estimator) sumRange(sorted []float64, a, b float64) float64 {
 	for i := iHi; i < rw; i++ {
 		sum += e.k.CDF((b-sorted[i])/e.h) - e.k.CDF((a-sorted[i])/e.h)
 	}
+	if telemetry.Enabled() {
+		kdeFastPathSamples.Add(int64(full))
+		kdeEdgeEvals.Add(int64((iLo - lw) + (rw - iHi)))
+	}
 	return sum
 }
 
@@ -264,6 +289,9 @@ func (e *Estimator) selectivityBoundaryKernels(a, b float64) float64 {
 		for i := 0; i < limit; i++ {
 			sum += kernel.BoundaryStripIntegral((e.sorted[i]-e.lo)/e.h, u1, u2)
 		}
+		if telemetry.Enabled() {
+			kdeEdgeEvals.Add(int64(limit))
+		}
 	}
 	// Right strip: u = (hi−x)/h, s = (hi−X)/h; integration direction flips
 	// but the integrand is the same strip integral by symmetry.
@@ -272,6 +300,9 @@ func (e *Estimator) selectivityBoundaryKernels(a, b float64) float64 {
 		start := sort.SearchFloat64s(e.sorted, e.hi-2*e.h)
 		for i := start; i < len(e.sorted); i++ {
 			sum += kernel.BoundaryStripIntegral((e.hi-e.sorted[i])/e.h, u1, u2)
+		}
+		if telemetry.Enabled() {
+			kdeEdgeEvals.Add(int64(len(e.sorted) - start))
 		}
 	}
 	return sum

@@ -13,9 +13,11 @@ package online
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"selest/internal/sample"
 	"selest/internal/stats"
+	"selest/internal/telemetry"
 	"selest/internal/xrand"
 )
 
@@ -132,10 +134,17 @@ func New(build Builder, cfg Config) (*Estimator, error) {
 func (e *Estimator) Insert(v float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.reservoir.Add(v)
+	wasFull := e.reservoir.Len() == e.cfg.ReservoirSize
+	kept := e.reservoir.Add(v)
 	e.inserts++
 	e.sinceRefit++
 	e.sinceCheck++
+	if telemetry.Enabled() {
+		onlineInserts.Inc()
+		if wasFull && kept {
+			onlineEvictions.Inc()
+		}
+	}
 
 	switch {
 	case e.fit == nil && e.reservoir.Len() >= e.cfg.ReservoirSize:
@@ -147,6 +156,7 @@ func (e *Estimator) Insert(v float64) error {
 		current := e.reservoir.Sample()
 		d := stats.KolmogorovSmirnov(e.fitSample, current)
 		if d > stats.KSCriticalValue(e.cfg.DriftAlpha, len(e.fitSample), len(current)) {
+			onlineDriftRefits.Inc()
 			return e.refitLocked()
 		}
 	}
@@ -171,21 +181,25 @@ func (e *Estimator) Flush() error {
 // the next fallback builder and retries it immediately so serving
 // freshness recovers without waiting out another refit cadence.
 func (e *Estimator) refitLocked() error {
+	start := time.Now()
 	smp := e.reservoir.Sample()
 	fit, err := e.buildSafe(smp)
 	for err != nil {
 		e.failedRefits++
 		e.consecFails++
 		e.lastErr = err
+		onlineRefitFails.Inc()
 		if e.cfg.DegradeAfter <= 0 || e.consecFails < e.cfg.DegradeAfter || e.builderIdx+1 >= len(e.builders) {
 			// Back off until the next cadence boundary instead of
 			// retrying the failed fit on every insert.
 			e.sinceRefit = 0
 			e.sinceCheck = 0
+			onlineBackoffs.Inc()
 			return fmt.Errorf("online: refit (fit kept serving): %w", err)
 		}
 		e.builderIdx++
 		e.consecFails = 0
+		onlineDegradations.Inc()
 		fit, err = e.buildSafe(smp)
 	}
 	e.fit = fit
@@ -194,6 +208,8 @@ func (e *Estimator) refitLocked() error {
 	e.sinceCheck = 0
 	e.refits++
 	e.consecFails = 0
+	onlineRefits.Inc()
+	onlineRefitNanos.ObserveSince(start)
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package robust
+
+import "selest/internal/telemetry"
+
+// Ladder telemetry. Every Report the builder returns also feeds these
+// series, so a fleet of robust estimators is observable without
+// collecting Report values by hand: how often builds degrade, which
+// rungs actually serve, how much input sanitization scrubs, and whether
+// query-time panic containment is firing in production.
+var (
+	robustBuilds         = telemetry.Default.Counter("selest_robust_builds_total")
+	robustDegraded       = telemetry.Default.Counter("selest_robust_degraded_total")
+	robustAttemptsFailed = telemetry.Default.Counter("selest_robust_attempts_failed_total")
+	robustPanicAttempts  = telemetry.Default.Counter("selest_robust_attempt_panics_total")
+	robustDropped        = telemetry.Default.Counter("selest_robust_samples_dropped_total")
+	robustClamped        = telemetry.Default.Counter("selest_robust_samples_clamped_total")
+	robustQueryPanics    = telemetry.Default.Counter("selest_robust_query_panics_total")
+)
+
+// recordReport feeds one successful build's report into the registry.
+// The rung counter is labeled and therefore resolved per build — builds
+// are cold, so the registry lookup is irrelevant next to the fit.
+func recordReport(rep *Report) {
+	robustBuilds.Inc()
+	if rep.Degraded {
+		robustDegraded.Inc()
+	}
+	for _, a := range rep.Attempts {
+		robustAttemptsFailed.Inc()
+		if a.Panicked {
+			robustPanicAttempts.Inc()
+		}
+	}
+	robustDropped.Add(int64(rep.Sanitize.Dropped))
+	robustClamped.Add(int64(rep.Sanitize.Clamped))
+	telemetry.Default.Counter(telemetry.Label("selest_robust_rung_total", "rung", string(rep.Rung))).Inc()
+}

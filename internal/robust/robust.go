@@ -131,6 +131,7 @@ func (e *Estimator) Selectivity(a, b float64) (s float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.queryPanics.Add(1)
+			robustQueryPanics.Inc()
 			s = e.uniformFallback(a, b)
 		}
 	}()
@@ -206,6 +207,17 @@ func Build(samples []float64, opts core.Options) (*Estimator, *Report, error) {
 	}
 	report := &Report{Requested: method}
 
+	// An explicitly inverted or NaN domain is a caller bug the ladder must
+	// not paper over — sanitization fixes dirty data, not wrong programs.
+	// (An unset or merely degenerate domain still derives from the sample
+	// hull below.)
+	if math.IsNaN(opts.DomainLo) || math.IsNaN(opts.DomainHi) {
+		return nil, report, fmt.Errorf("robust: domain [%v, %v] has NaN bounds: %w", opts.DomainLo, opts.DomainHi, core.ErrInvalidDomain)
+	}
+	if opts.DomainLo > opts.DomainHi {
+		return nil, report, fmt.Errorf("robust: domain [%v, %v] is inverted: %w", opts.DomainLo, opts.DomainHi, core.ErrInvalidDomain)
+	}
+
 	clean, lo, hi, err := sanitize(samples, opts.DomainLo, opts.DomainHi, &report.Sanitize)
 	if err != nil {
 		return nil, report, err
@@ -215,6 +227,7 @@ func Build(samples []float64, opts core.Options) (*Estimator, *Report, error) {
 	if report.Sanitize.Constant {
 		report.Rung = PointMassMethod
 		report.Degraded = method != PointMassMethod
+		recordReport(report)
 		return &Estimator{inner: pointMass{v: clean[0]}, lo: lo, hi: hi, report: report}, report, nil
 	}
 
@@ -244,6 +257,7 @@ func Build(samples []float64, opts core.Options) (*Estimator, *Report, error) {
 		}
 		report.Rung = rung
 		report.Degraded = rung != method
+		recordReport(report)
 		return &Estimator{inner: est, lo: lo, hi: hi, report: report}, report, nil
 	}
 	return nil, report, fmt.Errorf("robust: every rung failed: %s", report.String())
@@ -318,7 +332,7 @@ func sanitize(samples []float64, lo, hi float64, rep *SanitizeReport) ([]float64
 	}
 	rep.Kept = len(clean)
 	if len(clean) == 0 {
-		return nil, 0, 0, fmt.Errorf("robust: no finite samples (of %d offered)", rep.Total)
+		return nil, 0, 0, fmt.Errorf("robust: no finite samples (of %d offered): %w", rep.Total, core.ErrEmptySample)
 	}
 
 	min, max := clean[0], clean[0]

@@ -57,16 +57,21 @@ func NewReservoir(r *xrand.RNG, capacity int) *Reservoir {
 	return &Reservoir{rng: r, capacity: capacity, items: make([]float64, 0, capacity)}
 }
 
-// Add offers one stream element to the reservoir.
-func (rv *Reservoir) Add(x float64) {
+// Add offers one stream element to the reservoir. It reports whether
+// the element was kept — appended while filling, or admitted by
+// evicting a resident element once full — so callers can track
+// reservoir churn without re-reading the contents.
+func (rv *Reservoir) Add(x float64) bool {
 	rv.seen++
 	if len(rv.items) < rv.capacity {
 		rv.items = append(rv.items, x)
-		return
+		return true
 	}
 	if j := rv.rng.Intn(rv.seen); j < rv.capacity {
 		rv.items[j] = x
+		return true
 	}
+	return false
 }
 
 // Sample returns a copy of the current reservoir contents.

@@ -1,0 +1,61 @@
+package telemetry
+
+import "time"
+
+// Estimator is the estimator surface Instrument wraps. It is
+// structurally identical to core.Estimator; telemetry declares its own
+// copy so the metrics core stays dependency-free.
+type Estimator interface {
+	Selectivity(a, b float64) float64
+	Name() string
+}
+
+// Instrumented wraps an estimator and records, per query, a count and a
+// latency observation into per-estimator series of the registry it was
+// built against. The handles are captured at wrap time, so the query
+// path is the wrapped call plus two clock reads and two atomic
+// operations — no locks, no allocation, no registry lookups.
+type Instrumented struct {
+	inner   Estimator
+	queries *Counter
+	latency *Histogram
+}
+
+// Instrument wraps est with query telemetry recorded into Default.
+// Wrapping an already-instrumented estimator returns it unchanged.
+func Instrument(est Estimator) *Instrumented { return InstrumentInto(Default, est) }
+
+// InstrumentInto wraps est with query telemetry recorded into r.
+func InstrumentInto(r *Registry, est Estimator) *Instrumented {
+	if i, ok := est.(*Instrumented); ok {
+		return i
+	}
+	name := est.Name()
+	return &Instrumented{
+		inner:   est,
+		queries: r.Counter(Label("selest_queries_total", "estimator", name)),
+		latency: r.Histogram(Label("selest_query_nanos", "estimator", name)),
+	}
+}
+
+// Selectivity answers from the wrapped estimator, recording the query
+// count and latency when telemetry is enabled.
+func (i *Instrumented) Selectivity(a, b float64) float64 {
+	if !Enabled() {
+		return i.inner.Selectivity(a, b)
+	}
+	start := time.Now()
+	s := i.inner.Selectivity(a, b)
+	i.latency.ObserveSince(start)
+	i.queries.Inc()
+	return s
+}
+
+// Name identifies the wrapped estimator in experiment output.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// Unwrap returns the estimator behind the instrumentation.
+func (i *Instrumented) Unwrap() Estimator { return i.inner }
+
+// Queries returns how many queries this wrapper has recorded.
+func (i *Instrumented) Queries() int64 { return i.queries.Value() }

@@ -1,0 +1,99 @@
+// Prometheus text exposition (version 0.0.4) for a Registry: counters
+// and gauges render as single samples, histograms render as cumulative
+// `_bucket{le="..."}` series with `_sum` and `_count`, one `# TYPE` line
+// per family. Output order is deterministic (families and series sorted
+// by name) so the golden test can compare line-by-line.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, gauges, histograms := r.names()
+	snap := r.Snapshot()
+
+	var lastFamily string
+	for _, name := range counters {
+		family, labels := splitName(name)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(family, labels, ""), snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	for _, name := range gauges {
+		family, labels := splitName(name)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(family, labels, ""), formatFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	for _, name := range histograms {
+		family, labels := splitName(name)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		h := snap.Histograms[name]
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := strconv.FormatUint(b.Upper, 10)
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(family, labels, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(family, labels, "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(family+"_sum", labels, ""), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(family+"_count", labels, ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesName renders family plus an optional pre-rendered label set.
+func seriesName(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	default:
+		return family + "{" + labels + "," + extra + "}"
+	}
+}
+
+// bucketSeries renders a histogram bucket sample name with the le label
+// appended to any existing labels.
+func bucketSeries(family, labels, le string) string {
+	return seriesName(family+"_bucket", labels, `le="`+le+`"`)
+}
+
+// formatFloat renders a gauge value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,359 @@
+// Package telemetry is the zero-dependency metrics core behind the
+// library's observability surface: atomic counters, gauges, and
+// fixed-log-bucket latency histograms collected into a Registry that
+// supports snapshot, reset, and Prometheus-style text exposition.
+//
+// The hot-path contract is strict: once a metric handle exists, Inc, Add,
+// Set, and Observe are single atomic operations with zero allocations, so
+// the estimator query path can be instrumented without perturbing the
+// latencies it measures (the Benchmark pairs in bench_test.go and the
+// root package's BenchmarkTelemetryKernelQuery keep this honest).
+//
+// Hot layers additionally gate their hooks on Enabled(), a single atomic
+// load, so telemetry can be switched off entirely for
+// allocation/latency-critical deployments. Cold paths (fits, bandwidth
+// rules, refits) record unconditionally — their cost is microseconds
+// against millisecond builds.
+//
+// Metric names follow Prometheus conventions. A name may carry one
+// label pair inline — Label("selest_fit_total", "method", "kernel")
+// yields `selest_fit_total{method="kernel"}` — which the exposition
+// writer renders as a labeled series of the base family.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the hot-path hooks; it defaults to on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enable turns the hot-path telemetry hooks on (the default).
+func Enable() { enabled.Store(true) }
+
+// Disable turns the hot-path telemetry hooks off. Cold-path metrics
+// (fit counts, refit events) keep recording.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether hot-path hooks should record. It is a single
+// atomic load, cheap enough for a per-query check.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotone;
+// this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge (last-set value wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last-set value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histogramBuckets is the fixed bucket count: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// 65 buckets cover the whole non-negative int64 range (0 and ~292 years
+// of nanoseconds included), so Observe never branches on bucket layout.
+const histogramBuckets = 65
+
+// Histogram is a fixed-log-bucket histogram for non-negative integer
+// observations — typically latencies in nanoseconds. Buckets are powers
+// of two, so Observe is two atomic adds and a bit-length, with no
+// allocation and no locks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histogramBuckets]atomic.Int64
+}
+
+// Observe records one observation. Negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot. Upper is the
+// bucket's inclusive upper bound (2^i − 1); Count is the number of
+// observations in this bucket alone (not cumulative).
+type Bucket struct {
+	Upper uint64
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []Bucket // non-empty buckets in increasing Upper order
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the bucket boundaries — exact to within one power of two.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
+// snapshot copies the histogram's live state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histogramBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{Upper: bucketUpper(i), Count: n})
+	}
+	return s
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Registry owns a namespace of metrics. Handle lookup is get-or-create
+// under a mutex (cold path); the returned handles are stable across
+// Reset, so hot paths capture them once and never touch the registry
+// again.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the registry behind the package-level hooks and the root
+// package's selest.Metrics.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, keyed by
+// full metric name (including any inline label).
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every metric in place. Existing handles stay valid — hot
+// paths holding a *Counter keep recording into the same cell.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// names returns every registered full metric name, sorted, for the
+// exposition writer.
+func (r *Registry) names() (counters, gauges, histograms []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range r.histograms {
+		histograms = append(histograms, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return counters, gauges, histograms
+}
+
+// Label attaches one label pair to a metric name:
+// Label("selest_fit_total", "method", "kernel") →
+// `selest_fit_total{method="kernel"}`. The exposition writer splits the
+// result back into family and label set. Quotes and backslashes in value
+// are escaped per the Prometheus text format.
+func Label(name, key, value string) string {
+	return name + "{" + key + "=\"" + escapeLabelValue(value) + "\"}"
+}
+
+// escapeLabelValue escapes backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// splitName splits a full metric name into its family and label part:
+// `f{k="v"}` → ("f", `k="v"`); an unlabeled name returns ("f", "").
+func splitName(full string) (family, labels string) {
+	for i := 0; i < len(full); i++ {
+		if full[i] == '{' {
+			return full[:i], full[i+1 : len(full)-1]
+		}
+	}
+	return full, ""
+}

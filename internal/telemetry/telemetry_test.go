@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Fatal("get-or-create returned a different counter handle")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_nanos")
+	h.Observe(0)    // bucket len=0 → upper 0
+	h.Observe(1)    // len=1 → upper 1
+	h.Observe(1)    // len=1
+	h.Observe(1000) // len=10 → upper 1023
+	h.Observe(-7)   // clamped to 0
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1002 {
+		t.Fatalf("sum = %d, want 1002", s.Sum)
+	}
+	want := []Bucket{{Upper: 0, Count: 2}, {Upper: 1, Count: 2}, {Upper: 1023, Count: 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if q := s.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %d, want 1", q)
+	}
+	if q := s.Quantile(1); q != 1023 {
+		t.Fatalf("p100 = %d, want 1023", q)
+	}
+	if m := s.Mean(); math.Abs(m-1002.0/5) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(3)
+	g.Set(9)
+	h.Observe(100)
+
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 3 || s.Gauges["g"] != 9 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if s.Counters["c_total"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+	// Handles captured before Reset must keep recording into the registry.
+	c.Inc()
+	if got := r.Snapshot().Counters["c_total"]; got != 1 {
+		t.Fatalf("stale handle recorded %d, want 1", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := Label("f_total", "method", "kernel"); got != `f_total{method="kernel"}` {
+		t.Fatalf("Label = %s", got)
+	}
+	got := Label("f", "k", "a\"b\\c\nd")
+	if !strings.Contains(got, `a\"b\\c\nd`) {
+		t.Fatalf("escaped label = %s", got)
+	}
+	family, labels := splitName(`f_total{method="kernel"}`)
+	if family != "f_total" || labels != `method="kernel"` {
+		t.Fatalf("splitName = %q, %q", family, labels)
+	}
+	family, labels = splitName("plain")
+	if family != "plain" || labels != "" {
+		t.Fatalf("splitName plain = %q, %q", family, labels)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Enable()
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Enable")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() = true after Disable")
+	}
+}
+
+type fixedEstimator struct{ v float64 }
+
+func (f fixedEstimator) Selectivity(a, b float64) float64 { return f.v }
+func (f fixedEstimator) Name() string                     { return "fixed" }
+
+func TestInstrumentRecordsQueries(t *testing.T) {
+	defer Enable()
+	Enable()
+	r := NewRegistry()
+	inst := InstrumentInto(r, fixedEstimator{v: 0.25})
+	if again := InstrumentInto(r, inst); again != inst {
+		t.Fatal("instrumenting an Instrumented should be a no-op")
+	}
+	for i := 0; i < 10; i++ {
+		if got := inst.Selectivity(0, 1); got != 0.25 {
+			t.Fatalf("selectivity = %v", got)
+		}
+	}
+	if inst.Queries() != 10 {
+		t.Fatalf("queries = %d, want 10", inst.Queries())
+	}
+	s := r.Snapshot()
+	name := Label("selest_query_nanos", "estimator", "fixed")
+	if s.Histograms[name].Count != 10 {
+		t.Fatalf("latency count = %d, want 10", s.Histograms[name].Count)
+	}
+
+	// Disabled: the answer flows, nothing records.
+	Disable()
+	_ = inst.Selectivity(0, 1)
+	if inst.Queries() != 10 {
+		t.Fatalf("disabled query recorded: %d", inst.Queries())
+	}
+	if inst.Name() != "fixed" || inst.Unwrap().(fixedEstimator).v != 0.25 {
+		t.Fatal("wrapper identity broken")
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.Sum() < int64(time.Millisecond) {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench2json.sh — convert `go test -bench` output on stdin into a JSON
+# array of benchmark records on stdout. Used by `make bench` to commit
+# the telemetry-overhead evidence as BENCH_telemetry.json.
+#
+# Each "BenchmarkName-P   N   X ns/op   Y B/op   Z allocs/op" line becomes
+#   {"name": "Name", "runs": N, "ns_per_op": X, "bytes_per_op": Y, "allocs_per_op": Z}
+# (memory fields are omitted when -benchmem was not passed).
+exec awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    rec = sprintf("{\"name\": \"%s\", \"runs\": %s, \"ns_per_op\": %s", name, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "B/op")      rec = rec sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i + 1) == "allocs/op") rec = rec sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    print "["
+    for (i = 0; i < n; i++) printf "  %s%s\n", recs[i], (i < n - 1 ? "," : "")
+    print "]"
+}
+'

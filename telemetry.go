@@ -1,0 +1,67 @@
+package selest
+
+import (
+	"io"
+	"net"
+	"net/http"
+
+	"selest/internal/telemetry"
+)
+
+// Observability surface. Every layer of the library — fits in core,
+// smoothing rules, kernel query paths, the robust ladder, online
+// maintenance — records into one process-wide registry of counters,
+// gauges, and latency histograms. This file is the public face of that
+// registry: snapshot it, render it in Prometheus text format, wrap an
+// estimator so its queries are counted and timed, or switch the hot-path
+// hooks off entirely.
+
+// MetricsSnapshot is a point-in-time copy of every metric the library
+// has recorded: counters, gauges, and histogram summaries keyed by
+// metric name (with any {label="value"} suffix included in the key).
+type MetricsSnapshot = telemetry.Snapshot
+
+// InstrumentedEstimator wraps an Estimator so every Selectivity call
+// increments a per-estimator query counter and feeds a latency
+// histogram. It is returned by Instrument.
+type InstrumentedEstimator = telemetry.Instrumented
+
+// Metrics returns a consistent snapshot of the metric registry.
+func Metrics() MetricsSnapshot { return telemetry.Default.Snapshot() }
+
+// ResetMetrics zeroes every registered metric in place. Estimators
+// already instrumented keep recording into the same (now zeroed) series.
+func ResetMetrics() { telemetry.Default.Reset() }
+
+// Instrument wraps est so its queries appear in the registry as
+// selest_queries_total{estimator="<name>"} and
+// selest_query_nanos{estimator="<name>"}. Wrapping an already
+// instrumented estimator returns it unchanged.
+func Instrument(est Estimator) *InstrumentedEstimator { return telemetry.Instrument(est) }
+
+// WriteMetricsText renders the registry in Prometheus text exposition
+// format (version 0.0.4), suitable for a scrape endpoint or a debug
+// dump.
+func WriteMetricsText(w io.Writer) error { return telemetry.Default.WritePrometheus(w) }
+
+// MetricsHandler returns an http.Handler serving WriteMetricsText — a
+// /metrics endpoint for an existing server.
+func MetricsHandler() http.Handler { return telemetry.Handler() }
+
+// StartMetricsServer begins serving /metrics (Prometheus text) and
+// /debug/vars (expvar, with the full snapshot published under the
+// "selest" key) on addr. It returns the bound listener so callers can
+// discover the port and shut the server down by closing it.
+func StartMetricsServer(addr string) (net.Listener, error) { return telemetry.StartServer(addr) }
+
+// EnableTelemetry switches the hot-path hooks (per-query counters in the
+// kernel and online insert paths) back on. Telemetry starts enabled.
+func EnableTelemetry() { telemetry.Enable() }
+
+// DisableTelemetry switches the hot-path hooks off; cold-path metrics
+// (fits, refits, robust builds) keep recording. Use this to shave the
+// last few atomic operations off latency-critical query loops.
+func DisableTelemetry() { telemetry.Disable() }
+
+// TelemetryEnabled reports whether the hot-path hooks are on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }

@@ -1,0 +1,50 @@
+package selest_test
+
+import (
+	"testing"
+
+	"selest"
+	"selest/internal/kde"
+)
+
+// The telemetry overhead contract: an instrumented kernel query must stay
+// within a few percent of the bare query. The three sub-benchmarks are
+// the committed evidence (make bench writes them to BENCH_telemetry.json):
+//
+//	bare         telemetry disabled — the pre-telemetry hot path
+//	instrumented telemetry enabled  — the in-estimator hooks (default)
+//	wrapped      telemetry enabled + the Instrument wrapper (per-query
+//	             counter and latency histogram) on top
+func BenchmarkTelemetryKernelQuery(b *testing.B) {
+	est, err := kde.New(benchSamples(2000), kde.Config{Bandwidth: 1e4, Boundary: kde.BoundaryKernels, DomainLo: 0, DomainHi: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		selest.DisableTelemetry()
+		defer selest.EnableTelemetry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = est.Selectivity(4e5, 4.1e5)
+		}
+	})
+
+	b.Run("instrumented", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = est.Selectivity(4e5, 4.1e5)
+		}
+	})
+
+	b.Run("wrapped", func(b *testing.B) {
+		wrapped := selest.Instrument(est)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = wrapped.Selectivity(4e5, 4.1e5)
+		}
+	})
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-online fuzz bench ci
+.PHONY: build test vet staticcheck race race-online race-experiments fuzz fuzz-query bench bench-query ci
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,21 @@ race:
 race-online:
 	$(GO) test -race -v -run 'Refit|Panic|Degrad|Drift|Concurrent' ./internal/online/
 
+# The parallel experiment harness under the race detector: bounded worker
+# pool, once-per-key Env cache, and the parallel-equals-sequential report
+# property.
+race-experiments:
+	$(GO) test -race -run 'Parallel|ForEach|RunDrivers|EnvConcurrent' ./internal/experiments/
+
 # Short fuzz pass over the robust ladder's finite-[0,1] invariant.
 fuzz:
 	$(GO) test -fuzz FuzzBuild -fuzztime 30s ./internal/robust/
+
+# Short fuzz pass over the prefix-moment query engine: the O(log n)
+# closed form must match the Θ(n) reference within 1e-9 on fuzzer-chosen
+# sample shapes and query bits.
+fuzz-query:
+	$(GO) test -run '^$$' -fuzz FuzzMomentMatchesLinear -fuzztime 30s ./internal/kde/
 
 # staticcheck is optional tooling: run it when installed, skip quietly
 # when not, so ci works on a bare Go toolchain.
@@ -39,8 +51,16 @@ staticcheck:
 
 # The instrumented-vs-bare benchmark pairs: the committed evidence that
 # telemetry stays within the overhead budget. Writes BENCH_telemetry.json.
-bench:
+bench: bench-query
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem ./internal/telemetry/ . \
 		| tee /dev/stderr | sh scripts/bench2json.sh > BENCH_telemetry.json
 
-ci: vet staticcheck test race
+# The query-engine ladder: Θ(n) linear, O(log n + k) edge scan, O(log n)
+# prefix moments, and the shared batch sweep, at n up to 1e6 with the DPI
+# bandwidth. Writes BENCH_query.json — the committed evidence for the
+# moment path's speedup and 0 allocs/query.
+bench-query:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/kde/ \
+		| tee /dev/stderr | sh scripts/bench2json.sh > BENCH_query.json
+
+ci: vet staticcheck test race race-experiments

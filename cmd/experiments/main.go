@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-run all|table2,fig3,...] [-queries N] [-samples N] [-seed S]
+//	experiments [-run all|table2,fig3,...] [-queries N] [-samples N] [-seed S] [-parallel N]
 //
 // With the defaults (1,000 queries per workload, 2,000 samples — the
 // paper's configuration) a full run takes a few tens of seconds.
+// -parallel fans the drivers (and the per-file/per-method cells inside
+// them) across N workers; the output is identical at every setting.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		methods     = flag.String("methods", "", "comma-separated method subset for the method-sweep drivers (default: every method)")
 		metrics     = flag.Bool("metrics", false, "dump telemetry (Prometheus text format) to stderr before exiting")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
+		parallel    = flag.Int("parallel", 0, "worker count for drivers and their cells (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,7 @@ func main() {
 		SampleSize: *samples,
 		QueryCount: *queries,
 		Methods:    methodSet,
+		Parallel:   *parallel,
 	})
 
 	var drivers []experiments.Driver
@@ -92,18 +96,18 @@ func main() {
 		}
 	}
 
-	for _, d := range drivers {
-		start := time.Now()
-		rep, err := d.Run(env)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", d.ID, err)
+	start := time.Now()
+	results := experiments.RunDrivers(env, drivers)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", res.Driver.ID, res.Err)
 			os.Exit(1)
 		}
 		if *raw {
-			rep.RenderRaw(os.Stdout)
+			res.Report.RenderRaw(os.Stdout)
 		} else {
-			rep.Render(os.Stdout)
+			res.Report.Render(os.Stdout)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Printf("(%d experiments finished in %v)\n", len(results), time.Since(start).Round(time.Millisecond))
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"selest/internal/core"
@@ -29,6 +30,10 @@ type Config struct {
 	// Methods, when non-empty, restricts the method-sweep drivers
 	// (ext-all) to this subset instead of every implemented method.
 	Methods []core.Method
+	// Parallel is the worker count for drivers and for the per-file /
+	// per-method cells inside them. 0 means GOMAXPROCS; 1 forces fully
+	// sequential execution. Reports are identical at every setting.
+	Parallel int
 }
 
 func (c *Config) applyDefaults() {
@@ -44,14 +49,35 @@ func (c *Config) applyDefaults() {
 }
 
 // Env caches data files, sample sets and query workloads across drivers so
-// a full run generates each file once. Env is safe for concurrent use.
+// a full run generates each file once. Env is safe for concurrent use:
+// each cache entry carries its own sync.Once, so two workers asking for
+// the same file wait on one generation while requests for different keys
+// generate concurrently (the map mutex is held only for lookup/insert).
 type Env struct {
 	cfg Config
 
 	mu        sync.Mutex
-	files     map[string]*dataset.File
-	samples   map[sampleKey][]float64
-	workloads map[workloadKey]*query.Workload
+	files     map[string]*fileEntry
+	samples   map[sampleKey]*sampleEntry
+	workloads map[workloadKey]*workloadEntry
+}
+
+type fileEntry struct {
+	once sync.Once
+	f    *dataset.File
+	err  error
+}
+
+type sampleEntry struct {
+	once sync.Once
+	s    []float64
+	err  error
+}
+
+type workloadEntry struct {
+	once sync.Once
+	w    *query.Workload
+	err  error
 }
 
 type sampleKey struct {
@@ -69,14 +95,22 @@ func NewEnv(cfg Config) *Env {
 	cfg.applyDefaults()
 	return &Env{
 		cfg:       cfg,
-		files:     make(map[string]*dataset.File),
-		samples:   make(map[sampleKey][]float64),
-		workloads: make(map[workloadKey]*query.Workload),
+		files:     make(map[string]*fileEntry),
+		samples:   make(map[sampleKey]*sampleEntry),
+		workloads: make(map[workloadKey]*workloadEntry),
 	}
 }
 
 // Config returns the environment configuration (defaults applied).
 func (e *Env) Config() Config { return e.cfg }
+
+// workers resolves the configured parallelism to an actual worker count.
+func (e *Env) workers() int {
+	if e.cfg.Parallel > 0 {
+		return e.cfg.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Methods returns the method set the sweep drivers compare: the
 // configured subset when one was given, every implemented method
@@ -91,38 +125,44 @@ func (e *Env) Methods() []core.Method {
 // File returns the named catalog data file, generating it on first use.
 func (e *Env) File(name string) (*dataset.File, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if f, ok := e.files[name]; ok {
-		return f, nil
+	ent, ok := e.files[name]
+	if !ok {
+		ent = &fileEntry{}
+		e.files[name] = ent
 	}
-	f, err := dataset.ByName(name, e.cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	e.files[name] = f
-	return f, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.f, ent.err = dataset.ByName(name, e.cfg.Seed)
+	})
+	return ent.f, ent.err
 }
 
 // Sample returns a deterministic size-n random sample (without
 // replacement) of the named file.
 func (e *Env) Sample(name string, n int) ([]float64, error) {
-	f, err := e.File(name)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := sampleKey{file: name, n: n}
-	if s, ok := e.samples[key]; ok {
-		return s, nil
+	e.mu.Lock()
+	ent, ok := e.samples[key]
+	if !ok {
+		ent = &sampleEntry{}
+		e.samples[key] = ent
 	}
-	r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(n)*0x9e3779b97f4a7c15)
-	s, err := sample.WithoutReplacement(r, f.Records, n)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: sampling %s: %w", name, err)
-	}
-	e.samples[key] = s
-	return s, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		f, err := e.File(name)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(n)*0x9e3779b97f4a7c15)
+		s, err := sample.WithoutReplacement(r, f.Records, n)
+		if err != nil {
+			ent.err = fmt.Errorf("experiments: sampling %s: %w", name, err)
+			return
+		}
+		ent.s = s
+	})
+	return ent.s, ent.err
 }
 
 // DefaultSample returns the configured-size sample of the named file.
@@ -133,26 +173,32 @@ func (e *Env) DefaultSample(name string) ([]float64, error) {
 // Workload returns the deterministic query workload of the given size
 // fraction for the named file, with exact ground truth.
 func (e *Env) Workload(name string, size float64) (*query.Workload, error) {
-	f, err := e.File(name)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := workloadKey{file: name, size: size}
-	if w, ok := e.workloads[key]; ok {
-		return w, nil
+	e.mu.Lock()
+	ent, ok := e.workloads[key]
+	if !ok {
+		ent = &workloadEntry{}
+		e.workloads[key] = ent
 	}
-	lo, hi := f.Domain()
-	r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(size*1e6))
-	// Catalog files live on integer domains, so queries are
-	// integer-aligned exactly as the paper's query files are.
-	w, err := query.GenerateAligned(f.Records, lo, hi, size, e.cfg.QueryCount, r, true)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: workload %s/%v: %w", name, size, err)
-	}
-	e.workloads[key] = w
-	return w, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		f, err := e.File(name)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		lo, hi := f.Domain()
+		r := xrand.New(e.cfg.Seed ^ hashName(name) ^ uint64(size*1e6))
+		// Catalog files live on integer domains, so queries are
+		// integer-aligned exactly as the paper's query files are.
+		w, err := query.GenerateAligned(f.Records, lo, hi, size, e.cfg.QueryCount, r, true)
+		if err != nil {
+			ent.err = fmt.Errorf("experiments: workload %s/%v: %w", name, size, err)
+			return
+		}
+		ent.w = w
+	})
+	return ent.w, ent.err
 }
 
 // hashName is a tiny FNV-1a over the file name, decorrelating per-file

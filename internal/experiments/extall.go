@@ -7,7 +7,23 @@ import (
 	"selest/internal/core"
 	"selest/internal/errmetrics"
 	"selest/internal/kde"
+	"selest/internal/query"
 )
+
+// extAllOptions is the estimator configuration of one ext-all cell — the
+// kernel-family methods get the configuration fig12 uses.
+func extAllOptions(m core.Method, lo, hi float64) core.Options {
+	opts := core.Options{Method: m, DomainLo: lo, DomainHi: hi}
+	switch m {
+	case core.Kernel:
+		opts.Boundary = kde.BoundaryKernels
+		opts.Rule = core.DPI
+	case core.VariableKernel:
+		opts.Boundary = kde.BoundaryReflect
+		opts.Rule = core.DPI
+	}
+	return opts
+}
 
 // ExtAll runs every estimation method the library implements — the
 // paper's comparison set plus every extension estimator — over the
@@ -15,8 +31,15 @@ import (
 // q-error. It is the "one table to rule them all" a practitioner would
 // consult before picking an estimator, and it exercises every method of
 // the public API in one sweep.
+//
+// The file × method grid is embarrassingly parallel: every cell builds
+// its own estimator from shared (cached, read-only) samples and
+// workloads, writes its MRE into a dedicated slot, and the winner's
+// q-error is computed after the grid settles — so the report is
+// identical at any worker count.
 func ExtAll(env *Env) (*Report, error) {
 	methods := env.Methods()
+	files := PromisingFiles()
 	cols := make([]string, 0, len(methods))
 	for _, m := range methods {
 		cols = append(cols, string(m))
@@ -27,14 +50,15 @@ func ExtAll(env *Env) (*Report, error) {
 		Table: &Table{Columns: cols},
 	}
 
-	type cell struct {
-		mre    float64
-		qerr   float64
-		method core.Method
+	// Warm the per-file inputs sequentially (cheap, cached) so the cell
+	// work below is pure estimator build + evaluation.
+	type fileInput struct {
+		lo, hi  float64
+		samples []float64
+		w       *query.Workload
 	}
-	var bestPerFile []cell
-
-	for _, file := range PromisingFiles() {
+	inputs := make([]fileInput, len(files))
+	for i, file := range files {
 		f, err := env.File(file)
 		if err != nil {
 			return nil, err
@@ -48,34 +72,42 @@ func ExtAll(env *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := TableRow{Label: file}
-		best := cell{mre: math.Inf(1)}
-		for _, m := range methods {
-			opts := core.Options{Method: m, DomainLo: lo, DomainHi: hi}
-			// Give kernel-family methods the configuration fig12 uses.
-			switch m {
-			case core.Kernel:
-				opts.Boundary = kde.BoundaryKernels
-				opts.Rule = core.DPI
-			case core.VariableKernel:
-				opts.Boundary = kde.BoundaryReflect
-				opts.Rule = core.DPI
-			}
-			est, err := core.Build(samples, opts)
-			if err != nil {
-				return nil, fmt.Errorf("ext-all: %s on %s: %w", m, file, err)
-			}
-			mre, _ := errmetrics.MRE(est, w)
-			row.Values = append(row.Values, mre)
-			if mre < best.mre {
-				qe := errmetrics.QErrors(est, w)
-				best = cell{mre: mre, qerr: qe.Median, method: m}
+		inputs[i] = fileInput{lo: lo, hi: hi, samples: samples, w: w}
+	}
+
+	mres := make([]float64, len(files)*len(methods))
+	err := forEach(len(mres), env.workers(), func(idx int) error {
+		fi, mi := idx/len(methods), idx%len(methods)
+		in, m := inputs[fi], methods[mi]
+		est, err := core.Build(in.samples, extAllOptions(m, in.lo, in.hi))
+		if err != nil {
+			return fmt.Errorf("ext-all: %s on %s: %w", m, files[fi], err)
+		}
+		mre, _ := errmetrics.MRE(est, in.w)
+		mres[idx] = mre
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for fi, file := range files {
+		row := TableRow{Label: file, Values: mres[fi*len(methods) : (fi+1)*len(methods)]}
+		rep.Table.Rows = append(rep.Table.Rows, row)
+		bestMRE, bestM := math.Inf(1), methods[0]
+		for mi, m := range methods {
+			if mre := row.Values[mi]; mre < bestMRE {
+				bestMRE, bestM = mre, m
 			}
 		}
-		rep.Table.Rows = append(rep.Table.Rows, row)
-		bestPerFile = append(bestPerFile, best)
+		in := inputs[fi]
+		est, err := core.Build(in.samples, extAllOptions(bestM, in.lo, in.hi))
+		if err != nil {
+			return nil, fmt.Errorf("ext-all: %s on %s: %w", bestM, file, err)
+		}
+		qe := errmetrics.QErrors(est, in.w)
 		rep.Notes = append(rep.Notes, fmt.Sprintf(
-			"%-8s winner: %s (MRE %.3f, median q-error %.2f)", file, best.method, best.mre, best.qerr))
+			"%-8s winner: %s (MRE %.3f, median q-error %.2f)", file, bestM, bestMRE, qe.Median))
 	}
 	return rep, nil
 }

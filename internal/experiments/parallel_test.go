@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := forEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	if err := forEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsSmallestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("cell %d failed", i) }
+	for _, workers := range []int{1, 8} {
+		err := forEach(50, workers, func(i int) error {
+			if i == 13 || i == 31 || i == 47 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 13 failed" {
+			t.Fatalf("workers=%d: got %v, want the smallest-index error", workers, err)
+		}
+	}
+}
+
+// TestParallelReportsMatchSequential is the harness acceptance property:
+// the same environment configuration run with 1 worker and with 8 must
+// produce deeply equal reports for every driver.
+func TestParallelReportsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full driver sweep")
+	}
+	cfg := Config{QueryCount: 40, SampleSize: 300, Seed: 7}
+	seqCfg, parCfg := cfg, cfg
+	seqCfg.Parallel = 1
+	parCfg.Parallel = 8
+	drivers := AllDrivers()
+
+	seqEnv, parEnv := NewEnv(seqCfg), NewEnv(parCfg)
+	seq := RunDrivers(seqEnv, drivers)
+	par := RunDrivers(parEnv, drivers)
+	for i, d := range drivers {
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("%s: sequential err %v vs parallel err %v", d.ID, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Err != nil {
+			continue
+		}
+		if !reportsEqual(seq[i].Report, par[i].Report) {
+			t.Fatalf("%s: parallel report differs from sequential\nseq: %s\npar: %s",
+				d.ID, seq[i].Report.RenderString(), par[i].Report.RenderString())
+		}
+	}
+}
+
+// floatsEqual is bit-exact float equality with NaN == NaN (what
+// reflect.DeepEqual refuses to say about IEEE floats).
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reportsEqual is bit-exact report equality: every series point, table
+// cell and note must match to the last mantissa bit (NaN cells included).
+func reportsEqual(a, b *Report) bool {
+	if a.ID != b.ID || a.Title != b.Title || !reflect.DeepEqual(a.Notes, b.Notes) {
+		return false
+	}
+	if len(a.Series) != len(b.Series) {
+		return false
+	}
+	for i := range a.Series {
+		if a.Series[i].Name != b.Series[i].Name ||
+			!floatsEqual(a.Series[i].X, b.Series[i].X) ||
+			!floatsEqual(a.Series[i].Y, b.Series[i].Y) {
+			return false
+		}
+	}
+	if (a.Table == nil) != (b.Table == nil) {
+		return false
+	}
+	if a.Table != nil {
+		if !reflect.DeepEqual(a.Table.Columns, b.Table.Columns) ||
+			len(a.Table.Rows) != len(b.Table.Rows) {
+			return false
+		}
+		for i := range a.Table.Rows {
+			if a.Table.Rows[i].Label != b.Table.Rows[i].Label ||
+				!floatsEqual(a.Table.Rows[i].Values, b.Table.Rows[i].Values) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRunDriversOrderAndErrors: results arrive in input order and a
+// driver error is carried in its slot without disturbing the others.
+func TestRunDriversOrderAndErrors(t *testing.T) {
+	boom := errors.New("boom")
+	drivers := []Driver{
+		{ID: "a", Run: func(*Env) (*Report, error) { return &Report{ID: "a"}, nil }},
+		{ID: "b", Run: func(*Env) (*Report, error) { return nil, boom }},
+		{ID: "c", Run: func(*Env) (*Report, error) { return &Report{ID: "c"}, nil }},
+	}
+	res := RunDrivers(NewEnv(Config{Parallel: 4}), drivers)
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Report.ID != "a" || res[2].Report.ID != "c" {
+		t.Fatalf("results out of order: %+v", res)
+	}
+	if !errors.Is(res[1].Err, boom) {
+		t.Fatalf("driver b error = %v", res[1].Err)
+	}
+}
+
+// TestEnvConcurrentCaching: many goroutines requesting the same and
+// different keys must each observe exactly one generated instance per key.
+func TestEnvConcurrentCaching(t *testing.T) {
+	env := NewEnv(Config{QueryCount: 30, SampleSize: 200, Seed: 11})
+	names := []string{"u(20)", "n(20)", "e(20)"}
+	const goroutines = 24
+	files := make([][]uintptr, len(names))
+	for i := range files {
+		files[i] = make([]uintptr, goroutines)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for ni, name := range names {
+				f, err := env.File(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				files[ni][g] = reflect.ValueOf(f).Pointer()
+				if _, err := env.Sample(name, 150); err != nil {
+					t.Error(err)
+				}
+				if _, err := env.Workload(name, 0.01); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for ni, ptrs := range files {
+		for g := 1; g < goroutines; g++ {
+			if ptrs[g] != ptrs[0] {
+				t.Fatalf("%s: goroutine %d saw a different *File instance", names[ni], g)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := NewEnv(Config{Parallel: 3}).workers(); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+	if got := NewEnv(Config{}).workers(); got < 1 {
+		t.Fatalf("default workers = %d", got)
+	}
+}

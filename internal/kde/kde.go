@@ -98,6 +98,13 @@ type Estimator struct {
 	// reflected holds mirrored samples for BoundaryReflect, kept separate
 	// from sorted so n stays the divisor and diagnostics can see both.
 	reflected []float64
+
+	// moments/reflMoments are the prefix-moment indexes (moments.go) that
+	// answer Epanechnikov queries in O(log n) with no per-sample loop.
+	// They are nil for other kernels or untrustworthy magnitudes, in which
+	// case queries take the O(log n + k) edge-scan path.
+	moments     *momentIndex
+	reflMoments *momentIndex
 }
 
 // New builds an estimator from a sample set (copied). The sample set must
@@ -138,21 +145,55 @@ func New(samples []float64, cfg Config) (*Estimator, error) {
 	if cfg.Boundary == BoundaryReflect {
 		e.buildReflection()
 	}
+	e.buildMoments()
 	return e, nil
 }
 
 // buildReflection mirrors the samples within kernel reach of each boundary.
+// The two mirror sets are counted by binary search first so reflected is
+// allocated exactly once at its final size.
 func (e *Estimator) buildReflection() {
 	reach := e.h * e.k.Support()
-	for _, x := range e.sorted {
-		if x-e.lo < reach {
-			e.reflected = append(e.reflected, 2*e.lo-x)
-		}
-		if e.hi-x < reach {
-			e.reflected = append(e.reflected, 2*e.hi-x)
-		}
+	// Left mirrors: samples with x − lo < reach, i.e. x < lo + reach.
+	nLeft := sort.SearchFloat64s(e.sorted, e.lo+reach)
+	// Right mirrors: samples with hi − x < reach, i.e. x > hi − reach.
+	firstRight := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > e.hi-reach })
+	nRight := len(e.sorted) - firstRight
+	if nLeft+nRight == 0 {
+		return
+	}
+	e.reflected = make([]float64, 0, nLeft+nRight)
+	for _, x := range e.sorted[:nLeft] {
+		e.reflected = append(e.reflected, 2*e.lo-x)
+	}
+	for _, x := range e.sorted[firstRight:] {
+		e.reflected = append(e.reflected, 2*e.hi-x)
 	}
 	sort.Float64s(e.reflected)
+}
+
+// buildMoments precomputes the prefix-moment indexes (moments.go). Only
+// the Epanechnikov kernel has the cubic primitive the closed form needs;
+// newMomentIndex additionally refuses magnitudes it cannot sum safely.
+func (e *Estimator) buildMoments() {
+	if _, ok := e.k.(kernel.Epanechnikov); !ok {
+		return
+	}
+	e.moments = newMomentIndex(e.sorted)
+	if e.moments == nil {
+		return
+	}
+	if len(e.reflected) > 0 {
+		e.reflMoments = newMomentIndex(e.reflected)
+		if e.reflMoments == nil {
+			// Keep the two evaluation paths consistent: all moments or none.
+			e.moments = nil
+			return
+		}
+	}
+	if e.mode == BoundaryKernels {
+		e.moments.buildStripLogs(e.lo, e.hi)
+	}
 }
 
 // Bandwidth returns the smoothing parameter h.
@@ -191,16 +232,40 @@ func (e *Estimator) Selectivity(a, b float64) float64 {
 // estimator conditioning each bin on its total mass) need the raw value —
 // clamping first would silently destroy additivity.
 func (e *Estimator) SelectivityUnclamped(a, b float64) float64 {
+	return e.selectivityRaw(a, b, e.moments != nil)
+}
+
+// SelectivityEdgeScan evaluates the query through the O(log n + k)
+// edge-scan path even when the prefix-moment index exists. It is the
+// ablation baseline for the moment closed form (benches and the fuzz
+// cross-check); production callers should use Selectivity.
+func (e *Estimator) SelectivityEdgeScan(a, b float64) float64 {
+	s := e.selectivityRaw(a, b, false)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// selectivityRaw dispatches a query to the prefix-moment path (O(log n),
+// moments.go) or the edge-scan path (O(log n + k)).
+func (e *Estimator) selectivityRaw(a, b float64, useMoments bool) float64 {
 	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
 	}
 	if telemetry.Enabled() {
 		kdeQueries.Inc()
+		if useMoments {
+			kdeMomentQueries.Inc()
+		}
 	}
 	var s float64
 	switch e.mode {
 	case BoundaryKernels:
-		s = e.selectivityBoundaryKernels(a, b)
+		s = e.selectivityBoundaryKernels(a, b, useMoments)
 	case BoundaryReflect:
 		// Clip to the domain: mirrored mass outside [lo,hi] belongs to the
 		// boundary samples and must not be double-counted by a query that
@@ -210,18 +275,40 @@ func (e *Estimator) SelectivityUnclamped(a, b float64) float64 {
 		if b < a {
 			return 0
 		}
-		s = e.sumRange(e.sorted, a, b) + e.sumRange(e.reflected, a, b)
+		if useMoments {
+			s = e.momentTotal(b) - e.momentTotal(a)
+		} else {
+			s = e.sumRangeScan(e.sorted, a, b) + e.sumRangeScan(e.reflected, a, b)
+		}
 	default:
-		s = e.sumRange(e.sorted, a, b)
+		if useMoments {
+			s = e.moments.cdfSum(b, e.h) - e.moments.cdfSum(a, e.h)
+		} else {
+			s = e.sumRangeScan(e.sorted, a, b)
+		}
 	}
 	return s / float64(e.n)
 }
 
-// sumRange returns Σ_i [CDF((b−X_i)/h) − CDF((a−X_i)/h)] over the given
-// sorted sample slice, using binary search to count full contributions and
-// evaluating primitives only near the query edges. This is Algorithm 1
-// with the O(log n + k) refinement the paper describes.
-func (e *Estimator) sumRange(sorted []float64, a, b float64) float64 {
+// momentTotal evaluates F(y) = Σ CDF((y−Xᵢ)/h) over the original and (for
+// BoundaryReflect) mirrored samples through the moment indexes. Both the
+// single-query and the batch path subtract two momentTotal values, so
+// their results are bit-identical.
+func (e *Estimator) momentTotal(y float64) float64 {
+	s := e.moments.cdfSum(y, e.h)
+	if e.reflMoments != nil {
+		s += e.reflMoments.cdfSum(y, e.h)
+	}
+	return s
+}
+
+// sumRangeScan returns Σ_i [CDF((b−X_i)/h) − CDF((a−X_i)/h)] over the
+// given sorted sample slice, using binary search to count full
+// contributions and evaluating primitives only near the query edges. This
+// is Algorithm 1 with the O(log n + k) refinement the paper describes; the
+// prefix-moment path (moments.go) replaces it for the Epanechnikov kernel
+// and remains its fallback for every other kernel.
+func (e *Estimator) sumRangeScan(sorted []float64, a, b float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -242,17 +329,12 @@ func (e *Estimator) sumRange(sorted []float64, a, b float64) float64 {
 		iHi = iLo
 	}
 
-	sum := float64(full)
-	// Left partial window [a−reach, min(a+reach, b+reach)).
+	// Edge windows: left partial [a−reach, a+reach), right (b−reach, b+reach].
 	lw := sort.SearchFloat64s(sorted, a-reach)
-	for i := lw; i < iLo; i++ {
-		sum += e.k.CDF((b-sorted[i])/e.h) - e.k.CDF((a-sorted[i])/e.h)
-	}
-	// Right partial window (b−reach, b+reach].
 	rw := sort.Search(len(sorted), func(i int) bool { return sorted[i] > b+reach })
-	for i := iHi; i < rw; i++ {
-		sum += e.k.CDF((b-sorted[i])/e.h) - e.k.CDF((a-sorted[i])/e.h)
-	}
+	sum := float64(full) +
+		e.cdfDiffSum(sorted[lw:iLo], a, b) +
+		e.cdfDiffSum(sorted[iHi:rw], a, b)
 	if telemetry.Enabled() {
 		kdeFastPathSamples.Add(int64(full))
 		kdeEdgeEvals.Add(int64((iLo - lw) + (rw - iHi)))
@@ -260,49 +342,86 @@ func (e *Estimator) sumRange(sorted []float64, a, b float64) float64 {
 	return sum
 }
 
+// cdfDiffSum accumulates CDF((b−x)/h) − CDF((a−x)/h) over an edge window.
+// The kernel is type-switched to the concrete Epanechnikov once, outside
+// the loop, so the common case pays neither interface dispatch per sample
+// nor two separate primitive evaluations (kernel.Epanechnikov.CDFDiff
+// fuses them).
+func (e *Estimator) cdfDiffSum(window []float64, a, b float64) float64 {
+	sum := 0.0
+	if ep, ok := e.k.(kernel.Epanechnikov); ok {
+		for _, x := range window {
+			sum += ep.CDFDiff((b-x)/e.h, (a-x)/e.h)
+		}
+		return sum
+	}
+	for _, x := range window {
+		sum += e.k.CDF((b-x)/e.h) - e.k.CDF((a-x)/e.h)
+	}
+	return sum
+}
+
+// stripGeometry returns the interior bounds of the boundary-kernel strips;
+// for domains narrower than 2h the strips meet in the middle instead of
+// overlapping.
+func (e *Estimator) stripGeometry() (leftEnd, rightStart float64) {
+	mid := 0.5 * (e.lo + e.hi)
+	return math.Min(e.lo+e.h, mid), math.Max(e.hi-e.h, mid)
+}
+
 // selectivityBoundaryKernels integrates the boundary-kernel density over
 // [a,b]. The domain is split into the left strip [lo, lo+h], the interior,
 // and the right strip [hi−h, hi]; inside the strips the Simonoff–Dong
-// family applies with q sweeping 0→1 across the strip.
-func (e *Estimator) selectivityBoundaryKernels(a, b float64) float64 {
+// family applies with q sweeping 0→1 across the strip. With useMoments the
+// strip sums take their closed forms (moments.go) instead of per-sample
+// loops, keeping the whole query at O(log n).
+func (e *Estimator) selectivityBoundaryKernels(a, b float64, useMoments bool) float64 {
 	a = math.Max(a, e.lo)
 	b = math.Min(b, e.hi)
 	if b < a {
 		return 0
 	}
-	// Strip geometry; for domains narrower than 2h the strips meet in the
-	// middle instead of overlapping.
-	mid := 0.5 * (e.lo + e.hi)
-	leftEnd := math.Min(e.lo+e.h, mid)
-	rightStart := math.Max(e.hi-e.h, mid)
+	leftEnd, rightStart := e.stripGeometry()
 
 	sum := 0.0
 	// Interior contribution via the ordinary kernel.
 	if ia, ib := math.Max(a, leftEnd), math.Min(b, rightStart); ib > ia {
-		sum += e.sumRange(e.sorted, ia, ib)
+		if useMoments {
+			sum += e.moments.cdfSum(ib, e.h) - e.moments.cdfSum(ia, e.h)
+		} else {
+			sum += e.sumRangeScan(e.sorted, ia, ib)
+		}
 	}
 	// Left strip: u = (x−lo)/h ∈ [u1, u2], sample offset s = (X−lo)/h.
 	if la, lb := a, math.Min(b, leftEnd); lb > la {
 		u1, u2 := (la-e.lo)/e.h, (lb-e.lo)/e.h
-		// Only samples within 2h of the boundary can contribute.
-		limit := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > e.lo+2*e.h })
-		for i := 0; i < limit; i++ {
-			sum += kernel.BoundaryStripIntegral((e.sorted[i]-e.lo)/e.h, u1, u2)
-		}
-		if telemetry.Enabled() {
-			kdeEdgeEvals.Add(int64(limit))
+		if useMoments {
+			sum += e.stripSumMoment(u1, u2, true)
+		} else {
+			// Only samples within 2h of the boundary can contribute.
+			limit := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > e.lo+2*e.h })
+			for i := 0; i < limit; i++ {
+				sum += kernel.BoundaryStripIntegral((e.sorted[i]-e.lo)/e.h, u1, u2)
+			}
+			if telemetry.Enabled() {
+				kdeEdgeEvals.Add(int64(limit))
+			}
 		}
 	}
 	// Right strip: u = (hi−x)/h, s = (hi−X)/h; integration direction flips
 	// but the integrand is the same strip integral by symmetry.
 	if ra, rb := math.Max(a, rightStart), b; rb > ra {
 		u1, u2 := (e.hi-rb)/e.h, (e.hi-ra)/e.h
-		start := sort.SearchFloat64s(e.sorted, e.hi-2*e.h)
-		for i := start; i < len(e.sorted); i++ {
-			sum += kernel.BoundaryStripIntegral((e.hi-e.sorted[i])/e.h, u1, u2)
-		}
-		if telemetry.Enabled() {
-			kdeEdgeEvals.Add(int64(len(e.sorted) - start))
+		if useMoments {
+			sum += e.stripSumMoment(u1, u2, false)
+		} else {
+			start := sort.SearchFloat64s(e.sorted, e.hi-2*e.h)
+			for i := start; i < len(e.sorted); i++ {
+				sum += kernel.BoundaryStripIntegral((e.hi-e.sorted[i])/e.h, u1, u2)
+			}
+			if telemetry.Enabled() {
+				kdeEdgeEvals.Add(int64(len(e.sorted) - start))
+			}
 		}
 	}
 	return sum
@@ -324,12 +443,19 @@ func (e *Estimator) Density(x float64) float64 {
 	}
 }
 
-// sumDensity returns Σ_i K((x−X_i)/h) over samples within kernel reach.
+// sumDensity returns Σ_i K((x−X_i)/h) over samples within kernel reach,
+// type-switching to the concrete Epanechnikov once outside the loop.
 func (e *Estimator) sumDensity(sorted []float64, x float64) float64 {
 	reach := e.h * e.k.Support()
 	lo := sort.SearchFloat64s(sorted, x-reach)
 	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > x+reach })
 	sum := 0.0
+	if ep, ok := e.k.(kernel.Epanechnikov); ok {
+		for i := lo; i < hi; i++ {
+			sum += ep.Eval((x - sorted[i]) / e.h)
+		}
+		return sum
+	}
 	for i := lo; i < hi; i++ {
 		sum += e.k.Eval((x - sorted[i]) / e.h)
 	}
@@ -369,15 +495,15 @@ func (e *Estimator) densityBoundaryKernels(x float64) float64 {
 
 // SelectivityLinear evaluates Algorithm 1 exactly as printed in the paper —
 // a Θ(n) loop over all samples with no index acceleration. It exists for
-// the ablation bench comparing the two evaluation paths and for
-// cross-checking the fast path in tests. Boundary modes other than
-// BoundaryNone and BoundaryReflect fall back to Selectivity.
+// the ablation bench comparing the evaluation paths and for cross-checking
+// the fast paths in tests. BoundaryKernels takes the analogous Θ(n) strip
+// loops.
 func (e *Estimator) SelectivityLinear(a, b float64) float64 {
-	if e.mode == BoundaryKernels {
-		return e.Selectivity(a, b)
-	}
 	if math.IsNaN(a) || math.IsNaN(b) || b < a {
 		return 0
+	}
+	if e.mode == BoundaryKernels {
+		return e.boundaryKernelsLinear(a, b)
 	}
 	if e.mode == BoundaryReflect {
 		a = math.Max(a, e.lo)
@@ -392,6 +518,46 @@ func (e *Estimator) SelectivityLinear(a, b float64) float64 {
 	}
 	for _, x := range e.reflected {
 		sum += e.k.CDF((b-x)/e.h) - e.k.CDF((a-x)/e.h)
+	}
+	s := sum / float64(e.n)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// boundaryKernelsLinear is the Θ(n) reference evaluator for BoundaryKernels
+// mode: plain loops over every sample for the interior primitive and both
+// strip integrals, with no binary-search windowing and no moment closed
+// forms. BoundaryStripIntegral clips itself to zero outside its support, so
+// looping over the full sample set is safe.
+func (e *Estimator) boundaryKernelsLinear(a, b float64) float64 {
+	a = math.Max(a, e.lo)
+	b = math.Min(b, e.hi)
+	if b < a {
+		return 0
+	}
+	leftEnd, rightStart := e.stripGeometry()
+	sum := 0.0
+	if ia, ib := math.Max(a, leftEnd), math.Min(b, rightStart); ib > ia {
+		for _, x := range e.sorted {
+			sum += e.k.CDF((ib-x)/e.h) - e.k.CDF((ia-x)/e.h)
+		}
+	}
+	if la, lb := a, math.Min(b, leftEnd); lb > la {
+		u1, u2 := (la-e.lo)/e.h, (lb-e.lo)/e.h
+		for _, x := range e.sorted {
+			sum += kernel.BoundaryStripIntegral((x-e.lo)/e.h, u1, u2)
+		}
+	}
+	if ra, rb := math.Max(a, rightStart), b; rb > ra {
+		u1, u2 := (e.hi-rb)/e.h, (e.hi-ra)/e.h
+		for _, x := range e.sorted {
+			sum += kernel.BoundaryStripIntegral((e.hi-x)/e.h, u1, u2)
+		}
 	}
 	s := sum / float64(e.n)
 	if s < 0 {

@@ -20,4 +20,14 @@ var (
 	// kdeEdgeEvals counts samples evaluated explicitly: CDF primitives in
 	// the edge windows plus boundary-kernel strip integrals.
 	kdeEdgeEvals = telemetry.Default.Counter("selest_kde_edge_evals_total")
+	// kdeMomentQueries counts queries answered by the prefix-moment closed
+	// form (moments.go): O(log n) with zero per-sample evaluations. The gap
+	// kdeQueries − kdeMomentQueries is the edge-scan fallback traffic
+	// (non-polynomial kernels or untrusted magnitudes).
+	kdeMomentQueries = telemetry.Default.Counter("selest_kde_moment_queries_total")
+	// kdeBatchCalls counts SelectivityBatch invocations; kdeBatchQueries
+	// counts the queries they carried. The ratio is the achieved batching
+	// factor — the number of queries amortising each shared edge sweep.
+	kdeBatchCalls   = telemetry.Default.Counter("selest_kde_batch_calls_total")
+	kdeBatchQueries = telemetry.Default.Counter("selest_kde_batch_queries_total")
 )

@@ -1,0 +1,393 @@
+package kde
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"selest/internal/kernel"
+	"selest/internal/xrand"
+)
+
+// momentTol is the agreement budget between the prefix-moment closed form
+// and the Θ(n) reference evaluator (the acceptance bar of the query-engine
+// redesign).
+const momentTol = 1e-9
+
+// sampleCase is one sample-set shape of the moment-path corpus.
+type sampleCase struct {
+	name    string
+	samples []float64
+	lo, hi  float64
+}
+
+// momentCorpus builds the shapes the closed form must survive: smooth
+// uniform data, tight clusters (huge edge windows), constant data (zero
+// central moments), wide integer domains (the X³ cancellation regime), and
+// offset magnitudes far from zero.
+func momentCorpus(t testing.TB) []sampleCase {
+	t.Helper()
+	r := xrand.New(99)
+	uniform := func(n int, lo, hi float64) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = lo + r.Float64()*(hi-lo)
+		}
+		return xs
+	}
+	intAligned := func(n int, lo, hi float64) []float64 {
+		xs := uniform(n, lo, hi)
+		for i := range xs {
+			xs[i] = math.Floor(xs[i])
+		}
+		return xs
+	}
+	clustered := func(n int, lo, hi float64) []float64 {
+		centers := []float64{lo + 0.2*(hi-lo), lo + 0.21*(hi-lo), lo + 0.8*(hi-lo)}
+		xs := make([]float64, n)
+		for i := range xs {
+			c := centers[i%len(centers)]
+			x := c + (r.Float64()-0.5)*(hi-lo)*1e-3
+			xs[i] = math.Min(math.Max(x, lo), hi)
+		}
+		return xs
+	}
+	constant := func(n int, v float64) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = v
+		}
+		return xs
+	}
+	p20 := math.Exp2(20)
+	p31 := math.Exp2(31)
+	return []sampleCase{
+		{"uniform-small", uniform(700, 0, 100), 0, 100},
+		{"uniform-2^20", intAligned(1500, 0, p20), 0, p20},
+		{"uniform-2^31", intAligned(1500, 0, p31), 0, p31},
+		{"clustered-2^31", clustered(1200, 0, p31), 0, p31},
+		{"constant", constant(500, 12345.0), 0, math.Exp2(15)},
+		{"offset-1e12", uniform(800, 1e12, 1e12+4096), 1e12, 1e12 + 4096},
+		{"two-points", []float64{3, 97}, 0, 100},
+	}
+}
+
+// queriesFor draws a query mix for a case: interior, boundary-hugging,
+// narrower than h, inverted, and NaN.
+func queriesFor(r *xrand.RNG, lo, hi, h float64, n int) []Range {
+	span := hi - lo
+	qs := make([]Range, 0, n+6)
+	for i := 0; i < n; i++ {
+		a := lo + (r.Float64()*1.2-0.1)*span
+		w := r.Float64() * 0.3 * span
+		qs = append(qs, Range{a, a + w})
+	}
+	qs = append(qs,
+		Range{lo, lo + 0.01*span},             // left boundary
+		Range{hi - 0.01*span, hi},             // right boundary
+		Range{lo + 0.4*span, lo + 0.4*span + h/5}, // narrower than h
+		Range{lo + 0.7*span, lo + 0.2*span},   // inverted: must be 0
+		Range{math.NaN(), lo + 0.5*span},      // NaN: must be 0
+		Range{lo - span, hi + span},           // hull-covering
+	)
+	return qs
+}
+
+// TestMomentPathMatchesLinear is the core acceptance property: for every
+// corpus shape and boundary mode, Selectivity (moment path), the edge scan
+// and the Θ(n) reference agree within momentTol.
+func TestMomentPathMatchesLinear(t *testing.T) {
+	for _, sc := range momentCorpus(t) {
+		r := xrand.New(7)
+		span := sc.hi - sc.lo
+		for _, mode := range []BoundaryMode{BoundaryNone, BoundaryReflect, BoundaryKernels} {
+			for _, hFrac := range []float64{0.003, 0.04, 0.3} {
+				h := hFrac * span
+				if h <= 0 {
+					h = 1
+				}
+				e, err := New(sc.samples, Config{
+					Bandwidth: h, Boundary: mode, DomainLo: sc.lo, DomainHi: sc.hi,
+				})
+				if err != nil {
+					t.Fatalf("%s/%v/h=%v: %v", sc.name, mode, h, err)
+				}
+				if e.moments == nil {
+					t.Fatalf("%s: moment index unexpectedly disabled", sc.name)
+				}
+				for _, q := range queriesFor(r, sc.lo, sc.hi, h, 60) {
+					fast := e.Selectivity(q.A, q.B)
+					scan := e.SelectivityEdgeScan(q.A, q.B)
+					lin := e.SelectivityLinear(q.A, q.B)
+					if math.Abs(fast-scan) > momentTol {
+						t.Fatalf("%s/%v/h=%v: moment %v vs edge-scan %v for Q(%v,%v)",
+							sc.name, mode, h, fast, scan, q.A, q.B)
+					}
+					if math.Abs(fast-lin) > momentTol {
+						t.Fatalf("%s/%v/h=%v: moment %v vs linear %v for Q(%v,%v)",
+							sc.name, mode, h, fast, lin, q.A, q.B)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMomentFallbackOnExtremeMagnitude: magnitudes whose cubes would
+// overflow must disable the index, and the estimator must still answer
+// (through the edge scan) in agreement with the linear reference.
+func TestMomentFallbackOnExtremeMagnitude(t *testing.T) {
+	samples := []float64{-2e100, -1e100, 0, 1e100, 2e100}
+	e, err := New(samples, Config{Bandwidth: 5e99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.moments != nil {
+		t.Fatal("moment index should be disabled at 1e100 magnitudes")
+	}
+	got := e.Selectivity(-1.5e100, 1.5e100)
+	want := e.SelectivityLinear(-1.5e100, 1.5e100)
+	if math.Abs(got-want) > momentTol {
+		t.Fatalf("fallback disagrees with linear: %v vs %v", got, want)
+	}
+	// Non-polynomial kernels never build the index.
+	g, err := New([]float64{1, 2, 3}, Config{Bandwidth: 1, Kernel: kernel.Gaussian{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.moments != nil {
+		t.Fatal("moment index requires the Epanechnikov kernel")
+	}
+}
+
+// TestStripMomentMatchesLoop checks the boundary-strip closed form against
+// the per-sample BoundaryStripIntegral loop directly, sweeping clip
+// configurations (u1 < 0, u2 > 1, sub-strip windows, degenerate windows).
+func TestStripMomentMatchesLoop(t *testing.T) {
+	r := xrand.New(17)
+	samples := make([]float64, 900)
+	for i := range samples {
+		samples[i] = math.Floor(r.Float64() * math.Exp2(22))
+	}
+	e, err := New(samples, Config{
+		Bandwidth: math.Exp2(22) * 0.05, Boundary: BoundaryKernels,
+		DomainLo: 0, DomainHi: math.Exp2(22),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := func(u1, u2 float64, left bool) float64 {
+		sum := 0.0
+		for _, x := range e.sorted {
+			s := (x - e.lo) / e.h
+			if !left {
+				s = (e.hi - x) / e.h
+			}
+			sum += kernel.BoundaryStripIntegral(s, u1, u2)
+		}
+		return sum
+	}
+	for trial := 0; trial < 300; trial++ {
+		u1 := r.Float64()*2.4 - 1.2
+		u2 := u1 + r.Float64()*1.4
+		for _, left := range []bool{true, false} {
+			got := e.stripSumMoment(u1, u2, left)
+			want := loop(u1, u2, left)
+			if math.Abs(got-want) > momentTol*float64(e.n) {
+				t.Fatalf("strip(left=%v, u1=%v, u2=%v): moment %v vs loop %v",
+					left, u1, u2, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSingleQueries: batch answers must be bit-identical to
+// per-query Selectivity, across modes and including degenerate queries.
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	for _, sc := range momentCorpus(t) {
+		r := xrand.New(23)
+		for _, mode := range []BoundaryMode{BoundaryNone, BoundaryReflect, BoundaryKernels} {
+			h := (sc.hi - sc.lo) * 0.05
+			if h <= 0 {
+				h = 1
+			}
+			e, err := New(sc.samples, Config{
+				Bandwidth: h, Boundary: mode, DomainLo: sc.lo, DomainHi: sc.hi,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := queriesFor(r, sc.lo, sc.hi, h, 50)
+			got := e.SelectivityBatch(qs)
+			if len(got) != len(qs) {
+				t.Fatalf("batch returned %d results for %d queries", len(got), len(qs))
+			}
+			for i, q := range qs {
+				want := e.Selectivity(q.A, q.B)
+				if got[i] != want && !(math.IsNaN(got[i]) && math.IsNaN(want)) {
+					t.Fatalf("%s/%v: batch[%d] = %v, single = %v for Q(%v,%v)",
+						sc.name, mode, i, got[i], want, q.A, q.B)
+				}
+			}
+			// The Into variant reuses dst without reallocating.
+			dst := make([]float64, 0, len(qs))
+			out := e.SelectivityBatchInto(dst, qs)
+			if &out[0] != &dst[:1][0] {
+				t.Fatal("SelectivityBatchInto reallocated a sufficient dst")
+			}
+		}
+	}
+}
+
+// TestBatchFallbackKernels: non-moment configurations answer through the
+// per-query path and still match exactly.
+func TestBatchFallbackKernels(t *testing.T) {
+	r := xrand.New(31)
+	samples := make([]float64, 400)
+	for i := range samples {
+		samples[i] = r.Float64() * 1000
+	}
+	e, err := New(samples, Config{Bandwidth: 25, Kernel: kernel.Gaussian{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesFor(r, 0, 1000, 25, 20)
+	got := e.SelectivityBatch(qs)
+	for i, q := range qs {
+		if want := e.Selectivity(q.A, q.B); got[i] != want {
+			t.Fatalf("gaussian batch[%d] = %v, single = %v", i, got[i], want)
+		}
+	}
+	if out := e.SelectivityBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestGallopMatchesBinarySearch: the batch sweep's resumable searches must
+// agree with sort.SearchFloat64s from every starting position.
+func TestGallopMatchesBinarySearch(t *testing.T) {
+	r := xrand.New(41)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = math.Floor(r.Float64() * 500)
+	}
+	sort.Float64s(xs)
+	for trial := 0; trial < 2000; trial++ {
+		v := -10 + r.Float64()*520
+		wantGE := sort.SearchFloat64s(xs, v)
+		wantGT := sort.Search(len(xs), func(i int) bool { return xs[i] > v })
+		from := int(r.Uint64() % uint64(wantGE+1))
+		if got := advanceGE(xs, from, v); got != wantGE {
+			t.Fatalf("advanceGE(from=%d, v=%v) = %d, want %d", from, v, got, wantGE)
+		}
+		fromGT := int(r.Uint64() % uint64(wantGT+1))
+		if got := advanceGT(xs, fromGT, v); got != wantGT {
+			t.Fatalf("advanceGT(from=%d, v=%v) = %d, want %d", fromGT, v, got, wantGT)
+		}
+	}
+}
+
+// TestDDArithmetic pins the error-free transforms on values that defeat
+// plain float64 (the classic Kahan cancellation pairs).
+func TestDDArithmetic(t *testing.T) {
+	// (1e16 + 1) − 1e16 == 1 exactly in dd, 0 or 2 in float64.
+	s := twoSum(1e16, 1)
+	d := s.sub(dd{1e16, 0})
+	if d.val() != 1 {
+		t.Fatalf("dd cancellation: got %v, want 1", d.val())
+	}
+	// twoDiff is exact: (x − c) + c == x.
+	x, c := 12345678.9, 98765.4321
+	y := twoDiff(x, c)
+	back := y.add(dd{c, 0})
+	if back.val() != x {
+		t.Fatalf("twoDiff roundtrip: %v != %v", back.val(), x)
+	}
+	// mul carries the low-order product bits.
+	p := dd{1e8 + 1, 0}.mul(dd{1e8 - 1, 0})
+	if p.val() != 1e16-1 {
+		t.Fatalf("dd mul: got %v, want %v", p.val(), 1e16-1)
+	}
+}
+
+// FuzzMomentMatchesLinear drives the moment path against the Θ(n)
+// reference with fuzzer-chosen sample shapes, bandwidths and raw query
+// bits (so NaN/Inf/inverted queries are reachable).
+func FuzzMomentMatchesLinear(f *testing.F) {
+	f.Add(uint64(1), uint16(200), uint8(20), 0.05, uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(2), uint16(1000), uint8(31), 0.01, math.Float64bits(1000), math.Float64bits(2000), uint8(1))
+	f.Add(uint64(3), uint16(50), uint8(8), 0.5, math.Float64bits(math.NaN()), math.Float64bits(10), uint8(2))
+	f.Add(uint64(4), uint16(300), uint8(15), 0.002, math.Float64bits(100), math.Float64bits(90), uint8(1))
+	f.Add(uint64(5), uint16(2), uint8(12), 0.9, math.Float64bits(1), math.Float64bits(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, domPow uint8, hFrac float64, aBits, bBits uint64, modeRaw uint8) {
+		if n == 0 {
+			n = 1
+		}
+		if n > 3000 {
+			n = 3000
+		}
+		if domPow < 4 {
+			domPow = 4
+		}
+		if domPow > 40 {
+			domPow = 40
+		}
+		if math.IsNaN(hFrac) || hFrac <= 0 || hFrac > 1 {
+			hFrac = 0.05
+		}
+		span := math.Exp2(float64(domPow))
+		r := xrand.New(seed | 1)
+		xs := make([]float64, int(n))
+		switch seed % 3 {
+		case 0: // uniform integers
+			for i := range xs {
+				xs[i] = math.Floor(r.Float64() * span)
+			}
+		case 1: // tight clusters
+			c1, c2 := r.Float64()*span, r.Float64()*span
+			for i := range xs {
+				c := c1
+				if i%2 == 0 {
+					c = c2
+				}
+				xs[i] = math.Min(math.Max(c+(r.Float64()-0.5)*span*1e-4, 0), span)
+			}
+		default: // constant
+			v := math.Floor(r.Float64() * span)
+			for i := range xs {
+				xs[i] = v
+			}
+		}
+		mode := []BoundaryMode{BoundaryNone, BoundaryReflect, BoundaryKernels}[modeRaw%3]
+		h := hFrac * span
+		e, err := New(xs, Config{Bandwidth: h, Boundary: mode, DomainLo: 0, DomainHi: span})
+		if err != nil {
+			t.Skip()
+		}
+		a, b := math.Float64frombits(aBits), math.Float64frombits(bBits)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) {
+			// ±Inf queries are legal but the Θ(n) reference evaluates CDF at
+			// ±Inf fine; keep them.
+		}
+		fast := e.Selectivity(a, b)
+		lin := e.SelectivityLinear(a, b)
+		scan := e.SelectivityEdgeScan(a, b)
+		if math.IsNaN(a) || math.IsNaN(b) || b < a {
+			if fast != 0 || lin != 0 || scan != 0 {
+				t.Fatalf("degenerate Q(%v,%v) must be 0: fast=%v lin=%v scan=%v", a, b, fast, lin, scan)
+			}
+			return
+		}
+		if math.Abs(fast-lin) > momentTol {
+			t.Fatalf("mode=%v n=%d dom=2^%d h=%v: moment %v vs linear %v for Q(%v,%v)",
+				mode, n, domPow, h, fast, lin, a, b)
+		}
+		if math.Abs(fast-scan) > momentTol {
+			t.Fatalf("mode=%v n=%d dom=2^%d h=%v: moment %v vs edge-scan %v for Q(%v,%v)",
+				mode, n, domPow, h, fast, scan, a, b)
+		}
+		if fast < 0 || fast > 1 {
+			t.Fatalf("selectivity %v outside [0,1]", fast)
+		}
+	})
+}

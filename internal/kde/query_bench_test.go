@@ -1,0 +1,136 @@
+package kde_test
+
+// Query-engine benchmarks: the Θ(n) reference evaluator, the O(log n + k)
+// edge scan, the O(log n) prefix-moment closed form, and the batch sweep,
+// at n ∈ {1e4, 1e5, 1e6} with the DPI bandwidth the production
+// configuration uses. `make bench` converts the output to BENCH_query.json.
+//
+// This file lives in package kde_test because the DPI rule comes from
+// internal/bandwidth, which itself imports internal/kde.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/bandwidth"
+	"selest/internal/kde"
+	"selest/internal/kernel"
+	"selest/internal/xrand"
+)
+
+type queryBenchSetup struct {
+	est     *kde.Estimator
+	queries []kde.Range
+}
+
+var (
+	queryBenchMu    sync.Mutex
+	queryBenchCache = map[int]*queryBenchSetup{}
+)
+
+// querySetup builds (once per size) a reflect-mode estimator over clustered
+// integer data on [0, 2^22) with the DPI(2) bandwidth, plus a fixed 1%
+// query workload.
+func querySetup(b *testing.B, n int) *queryBenchSetup {
+	b.Helper()
+	queryBenchMu.Lock()
+	defer queryBenchMu.Unlock()
+	if s, ok := queryBenchCache[n]; ok {
+		return s
+	}
+	const span = float64(1 << 22)
+	r := xrand.New(uint64(n) | 5)
+	xs := make([]float64, n)
+	for i := range xs {
+		c := span * (0.2 + 0.6*float64(i%5)/5)
+		xs[i] = math.Floor(math.Min(math.Max(c+(r.Float64()-0.5)*span*0.1, 0), span-1))
+	}
+	h, err := bandwidth.DPIBandwidth(xs, kernel.Epanechnikov{}, 2, 0, span)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := kde.New(xs, kde.Config{
+		Bandwidth: h, Boundary: kde.BoundaryReflect, DomainLo: 0, DomainHi: span,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]kde.Range, 256)
+	for i := range queries {
+		a := r.Float64() * span * 0.99
+		queries[i] = kde.Range{A: a, B: a + 0.01*span}
+	}
+	s := &queryBenchSetup{est: est, queries: queries}
+	queryBenchCache[n] = s
+	return s
+}
+
+var benchSizes = []struct {
+	name string
+	n    int
+}{{"n=10000", 1e4}, {"n=100000", 1e5}, {"n=1000000", 1e6}}
+
+func BenchmarkQueryLinear(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			s := querySetup(b, sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := s.queries[i%len(s.queries)]
+				sinkSelectivity = s.est.SelectivityLinear(q.A, q.B)
+			}
+		})
+	}
+}
+
+func BenchmarkQueryEdgeScan(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			s := querySetup(b, sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := s.queries[i%len(s.queries)]
+				sinkSelectivity = s.est.SelectivityEdgeScan(q.A, q.B)
+			}
+		})
+	}
+}
+
+func BenchmarkQueryMoment(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			s := querySetup(b, sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := s.queries[i%len(s.queries)]
+				sinkSelectivity = s.est.Selectivity(q.A, q.B)
+			}
+		})
+	}
+}
+
+func BenchmarkQueryBatch(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			s := querySetup(b, sz.n)
+			dst := make([]float64, 0, len(s.queries))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := s.est.SelectivityBatchInto(dst, s.queries)
+				sinkSelectivity = out[0]
+			}
+			b.StopTimer()
+			// Report per-query cost so the batch rows compare directly with
+			// the single-query benchmarks.
+			perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(s.queries))
+			b.ReportMetric(perQuery, "ns/query")
+		})
+	}
+}
+
+var sinkSelectivity float64

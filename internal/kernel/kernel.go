@@ -59,6 +59,29 @@ func (Epanechnikov) CDF(t float64) float64 {
 	}
 }
 
+// CDFDiff returns CDF(tb) − CDF(ta) in one fused evaluation. The hot
+// evaluation loops of Algorithm 1 compute this difference for every edge
+// sample; factoring u³−v³ = (u−v)(u²+uv+v²) after clamping both arguments
+// to the support turns six polynomial terms and two branches into one
+// product — and callers that type-switch to the concrete Epanechnikov
+// avoid the interface dispatch entirely.
+func (Epanechnikov) CDFDiff(tb, ta float64) float64 {
+	u := tb
+	if u < -1 {
+		u = -1
+	} else if u > 1 {
+		u = 1
+	}
+	v := ta
+	if v < -1 {
+		v = -1
+	} else if v > 1 {
+		v = 1
+	}
+	// CDF(u) − CDF(v) = ¼(3(u−v) − (u³−v³)) = ¼(u−v)(3 − (u²+uv+v²)).
+	return 0.25 * (u - v) * (3 - (u*u + u*v + v*v))
+}
+
 // Support implements Kernel.
 func (Epanechnikov) Support() float64 { return 1 }
 

@@ -212,3 +212,28 @@ func TestQuickKernelCDFMonotone(t *testing.T) {
 		}
 	}
 }
+
+// Property: the fused CDFDiff equals CDF(tb) − CDF(ta) with both arguments
+// clamped to the support, including reversed and far-outside arguments.
+func TestEpanechnikovCDFDiff(t *testing.T) {
+	var ep Epanechnikov
+	prop := func(rawB, rawA int8) bool {
+		tb := float64(rawB) / 40 // sweeps well past ±1
+		ta := float64(rawA) / 40
+		got := ep.CDFDiff(tb, ta)
+		want := ep.CDF(tb) - ep.CDF(ta)
+		return math.Abs(got-want) <= 1e-15
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := ep.CDFDiff(5, -5); d != 1 {
+		t.Fatalf("full-support diff = %v, want 1", d)
+	}
+	if d := ep.CDFDiff(-3, 7); d != -1 {
+		t.Fatalf("reversed full-support diff = %v, want -1", d)
+	}
+	if d := ep.CDFDiff(0.25, 0.25); d != 0 {
+		t.Fatalf("zero-width diff = %v, want 0", d)
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-online race-experiments fuzz fuzz-query bench bench-query ci
+.PHONY: build test vet staticcheck race race-online race-experiments race-fit fuzz fuzz-query bench bench-query bench-fit bench-fit-quick benchstat-fit ci
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,7 @@ staticcheck:
 
 # The instrumented-vs-bare benchmark pairs: the committed evidence that
 # telemetry stays within the overhead budget. Writes BENCH_telemetry.json.
-bench: bench-query
+bench: bench-query bench-fit
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem ./internal/telemetry/ . \
 		| tee /dev/stderr | sh scripts/bench2json.sh > BENCH_telemetry.json
 
@@ -63,4 +63,40 @@ bench-query:
 	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/kde/ \
 		| tee /dev/stderr | sh scripts/bench2json.sh > BENCH_query.json
 
-ci: vet staticcheck test race race-experiments
+# The fit-path engine pairs: DPI fit, LSCV, oracle search, and the hybrid
+# build, each engine-vs-seed at n up to 1e6. Writes the raw `go test`
+# output to BENCH_fit.txt (the committed benchstat baseline) and the
+# parsed records to BENCH_fit.json — the committed evidence for the
+# shared-context + grid-sweep speedups.
+bench-fit:
+	$(GO) test -run '^$$' -bench 'BenchmarkFit' -benchmem -timeout 60m \
+		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/ \
+		| tee /dev/stderr | tee BENCH_fit.txt | sh scripts/bench2json.sh > BENCH_fit.json
+
+# A fast single-iteration sweep of the same benchmarks: smoke coverage
+# that every BenchmarkFit* still runs, cheap enough for ci.
+bench-fit-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkFit' -benchtime 1x -timeout 10m \
+		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/ > /dev/null
+
+# benchstat is optional tooling: when installed, diff a fresh quick run
+# of the fit benches against the committed BENCH_fit.txt baseline; skip
+# quietly on a bare Go toolchain.
+benchstat-fit:
+	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_fit.txt ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkFit' -benchmem -benchtime 1x -timeout 10m \
+			./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/ > BENCH_fit.head.txt; \
+		benchstat BENCH_fit.txt BENCH_fit.head.txt || true; \
+		rm -f BENCH_fit.head.txt; \
+	else \
+		echo "benchstat not installed or no BENCH_fit.txt baseline; skipping"; \
+	fi
+
+# The fit-path determinism pins under the race detector: parallel LSCV /
+# oracle grids and the hybrid bin fill must be bit-identical to their
+# sequential scans at every worker count.
+race-fit:
+	$(GO) test -race -run 'Workers|FitContext|DensityGrid|MatchesSeed' \
+		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/
+
+ci: vet staticcheck test race race-experiments race-fit bench-fit-quick benchstat-fit

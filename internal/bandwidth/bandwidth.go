@@ -69,11 +69,28 @@ func NormalScaleBinWidth(samples []float64) (float64, error) {
 	if err := faultinject.Check("bandwidth.normal-scale-binwidth"); err != nil {
 		return 0, err
 	}
-	n := len(samples)
-	if n == 0 {
+	if len(samples) == 0 {
 		return 0, fmt.Errorf("bandwidth: empty sample set")
 	}
-	s := stats.Scale(samples)
+	return nsBinWidthFromScale(len(samples), stats.Scale(samples))
+}
+
+// NormalScaleBinWidthSorted is NormalScaleBinWidth over already-sorted
+// input: the quartiles behind the scale estimate come straight from the
+// order statistics, with no sorting copy. Fit-path callers that hold a
+// kde.FitContext pass its Sorted() slice here.
+func NormalScaleBinWidthSorted(sorted []float64) (float64, error) {
+	defer ruleNanosNSBinWidth.ObserveSince(time.Now())
+	if err := faultinject.Check("bandwidth.normal-scale-binwidth"); err != nil {
+		return 0, err
+	}
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("bandwidth: empty sample set")
+	}
+	return nsBinWidthFromScale(len(sorted), stats.ScaleSorted(sorted))
+}
+
+func nsBinWidthFromScale(n int, s float64) (float64, error) {
 	if s <= 0 {
 		return 0, fmt.Errorf("bandwidth: degenerate sample (zero scale)")
 	}
@@ -92,11 +109,26 @@ func NormalScaleBandwidth(samples []float64, k kernel.Kernel) (float64, error) {
 	if err := faultinject.Check("bandwidth.normal-scale"); err != nil {
 		return 0, err
 	}
-	n := len(samples)
-	if n == 0 {
+	if len(samples) == 0 {
 		return 0, fmt.Errorf("bandwidth: empty sample set")
 	}
-	s := stats.Scale(samples)
+	return nsBandwidthFromScale(len(samples), stats.Scale(samples), k)
+}
+
+// NormalScaleBandwidthSorted is NormalScaleBandwidth over already-sorted
+// input, avoiding the sorting copy inside the scale estimate.
+func NormalScaleBandwidthSorted(sorted []float64, k kernel.Kernel) (float64, error) {
+	defer ruleNanosNormalScale.ObserveSince(time.Now())
+	if err := faultinject.Check("bandwidth.normal-scale"); err != nil {
+		return 0, err
+	}
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("bandwidth: empty sample set")
+	}
+	return nsBandwidthFromScale(len(sorted), stats.ScaleSorted(sorted), k)
+}
+
+func nsBandwidthFromScale(n int, s float64, k kernel.Kernel) (float64, error) {
 	if s <= 0 {
 		return 0, fmt.Errorf("bandwidth: degenerate sample (zero scale)")
 	}
@@ -145,7 +177,30 @@ func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64)
 	if err := faultinject.Check("bandwidth.dpi"); err != nil {
 		return 0, err
 	}
-	h, err := NormalScaleBandwidth(samples, k)
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("bandwidth: empty sample set")
+	}
+	ctx, err := kde.NewFitContext(samples)
+	if err != nil {
+		return 0, err
+	}
+	return dpiBandwidthCtx(ctx, k, steps, lo, hi)
+}
+
+// DPIBandwidthContext is DPIBandwidth over a pre-built fit context: the
+// sample sort and the prefix-moment index are paid once by the context,
+// and every pilot density of every iteration reuses them. Callers fitting
+// a final estimator afterwards should fit it from the same context.
+func DPIBandwidthContext(ctx *kde.FitContext, k kernel.Kernel, steps int, lo, hi float64) (float64, error) {
+	defer ruleNanosDPI.ObserveSince(time.Now())
+	if err := faultinject.Check("bandwidth.dpi"); err != nil {
+		return 0, err
+	}
+	return dpiBandwidthCtx(ctx, k, steps, lo, hi)
+}
+
+func dpiBandwidthCtx(ctx *kde.FitContext, k kernel.Kernel, steps int, lo, hi float64) (float64, error) {
+	h, err := NormalScaleBandwidthSorted(ctx.Sorted(), k)
 	if err != nil {
 		return 0, err
 	}
@@ -155,7 +210,7 @@ func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64)
 	if !(hi > lo) {
 		return 0, fmt.Errorf("bandwidth: DPI needs a proper domain, got [%v, %v]", lo, hi)
 	}
-	n := len(samples)
+	n := ctx.SampleSize()
 	for step := 0; step < steps; step++ {
 		// Functional estimation benefits from a pilot bandwidth somewhat
 		// larger than the final one (derivatives amplify noise); the
@@ -163,7 +218,7 @@ func DPIBandwidth(samples []float64, k kernel.Kernel, steps int, lo, hi float64)
 		// relative to the density bandwidth. We use a modest 1.5× pilot,
 		// which is robust across our data files.
 		pilot := 1.5 * h
-		r2, err := estimateRoughnessSecond(samples, k, pilot, lo, hi)
+		r2, err := estimateRoughnessSecond(ctx, k, pilot, lo, hi)
 		if err != nil {
 			return 0, err
 		}
@@ -187,7 +242,28 @@ func DPIBinWidth(samples []float64, steps int, lo, hi float64) (float64, error) 
 	if err := faultinject.Check("bandwidth.dpi-binwidth"); err != nil {
 		return 0, err
 	}
-	h, err := NormalScaleBinWidth(samples)
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("bandwidth: empty sample set")
+	}
+	ctx, err := kde.NewFitContext(samples)
+	if err != nil {
+		return 0, err
+	}
+	return dpiBinWidthCtx(ctx, steps, lo, hi)
+}
+
+// DPIBinWidthContext is DPIBinWidth over a pre-built fit context (see
+// DPIBandwidthContext).
+func DPIBinWidthContext(ctx *kde.FitContext, steps int, lo, hi float64) (float64, error) {
+	defer ruleNanosDPIBinWidth.ObserveSince(time.Now())
+	if err := faultinject.Check("bandwidth.dpi-binwidth"); err != nil {
+		return 0, err
+	}
+	return dpiBinWidthCtx(ctx, steps, lo, hi)
+}
+
+func dpiBinWidthCtx(ctx *kde.FitContext, steps int, lo, hi float64) (float64, error) {
+	h, err := NormalScaleBinWidthSorted(ctx.Sorted())
 	if err != nil {
 		return 0, err
 	}
@@ -197,16 +273,16 @@ func DPIBinWidth(samples []float64, steps int, lo, hi float64) (float64, error) 
 	if !(hi > lo) {
 		return 0, fmt.Errorf("bandwidth: DPI needs a proper domain, got [%v, %v]", lo, hi)
 	}
-	n := len(samples)
+	n := ctx.SampleSize()
 	// Pilot kernel bandwidth from the normal scale rule; iterate on the
 	// functional only.
 	k := kernel.Epanechnikov{}
-	pilotH, err := NormalScaleBandwidth(samples, k)
+	pilotH, err := NormalScaleBandwidthSorted(ctx.Sorted(), k)
 	if err != nil {
 		return 0, err
 	}
 	for step := 0; step < steps; step++ {
-		r1, err := estimateRoughnessFirst(samples, k, pilotH, lo, hi)
+		r1, err := estimateRoughnessFirst(ctx, k, pilotH, lo, hi)
 		if err != nil {
 			return 0, err
 		}
@@ -229,18 +305,36 @@ func DPIBinWidth(samples []float64, steps int, lo, hi float64) (float64, error) 
 // statistical noise of a 2,000-record sample.
 const functionalGridSize = 512
 
+// functionalDX reproduces the grid spacing xs[1]−xs[0] of
+// xmath.Linspace(lo, hi, functionalGridSize) without materialising the
+// grid: (lo+step)−lo can differ from step in the last bit, and the
+// roughness functionals must stay bit-identical to the seed path.
+func functionalDX(lo, hi float64) float64 {
+	step := (hi - lo) / float64(functionalGridSize-1)
+	return (lo + step) - lo
+}
+
+// pilotDensityGrid builds one pilot estimate from the fit context and
+// evaluates it over the functional grid with a single DensityGrid sweep —
+// the seed path paid a fresh sort plus 512 independent windowed scans per
+// iteration. Per-pilot build+evaluate durations land in the rule-labeled
+// pilot histograms.
+func pilotDensityGrid(ctx *kde.FitContext, k kernel.Kernel, h, lo, hi float64, pilotNanos pilotObserver) ([]float64, error) {
+	defer pilotNanos.ObserveSince(time.Now())
+	e, err := ctx.NewEstimator(kde.Config{Kernel: k, Bandwidth: h, Boundary: kde.BoundaryReflect, DomainLo: lo, DomainHi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return e.DensityGrid(lo, hi, functionalGridSize), nil
+}
+
 // estimateRoughnessSecond estimates ∫f”² from a pilot KDE on a grid.
-func estimateRoughnessSecond(samples []float64, k kernel.Kernel, h, lo, hi float64) (float64, error) {
-	e, err := kde.New(samples, kde.Config{Kernel: k, Bandwidth: h, Boundary: kde.BoundaryReflect, DomainLo: lo, DomainHi: hi})
+func estimateRoughnessSecond(ctx *kde.FitContext, k kernel.Kernel, h, lo, hi float64) (float64, error) {
+	ys, err := pilotDensityGrid(ctx, k, h, lo, hi, pilotNanosDPI)
 	if err != nil {
 		return 0, err
 	}
-	xs := xmath.Linspace(lo, hi, functionalGridSize)
-	dx := xs[1] - xs[0]
-	ys := make([]float64, len(xs))
-	for i, x := range xs {
-		ys[i] = e.Density(x)
-	}
+	dx := functionalDX(lo, hi)
 	d2 := xmath.SecondDerivativeTable(ys, dx)
 	for i, v := range d2 {
 		d2[i] = v * v
@@ -249,17 +343,12 @@ func estimateRoughnessSecond(samples []float64, k kernel.Kernel, h, lo, hi float
 }
 
 // estimateRoughnessFirst estimates ∫f'² from a pilot KDE on a grid.
-func estimateRoughnessFirst(samples []float64, k kernel.Kernel, h, lo, hi float64) (float64, error) {
-	e, err := kde.New(samples, kde.Config{Kernel: k, Bandwidth: h, Boundary: kde.BoundaryReflect, DomainLo: lo, DomainHi: hi})
+func estimateRoughnessFirst(ctx *kde.FitContext, k kernel.Kernel, h, lo, hi float64) (float64, error) {
+	ys, err := pilotDensityGrid(ctx, k, h, lo, hi, pilotNanosDPIBinWidth)
 	if err != nil {
 		return 0, err
 	}
-	xs := xmath.Linspace(lo, hi, functionalGridSize)
-	dx := xs[1] - xs[0]
-	ys := make([]float64, len(xs))
-	for i, x := range xs {
-		ys[i] = e.Density(x)
-	}
+	dx := functionalDX(lo, hi)
 	d1 := xmath.GradientTable(ys, dx)
 	for i, v := range d1 {
 		d1[i] = v * v

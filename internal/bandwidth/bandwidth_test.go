@@ -2,6 +2,7 @@ package bandwidth
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"selest/internal/dist"
@@ -18,6 +19,12 @@ func normalSamples(t testing.TB, n int, mu, sigma float64, seed uint64) []float6
 		xs[i] = r.NormalMeanStd(mu, sigma)
 	}
 	return xs
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
 }
 
 func TestOptimalBinWidthMinimisesAMISE(t *testing.T) {
@@ -195,8 +202,19 @@ func TestDPIZeroStepsEqualsNormalScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hDPI != hNS {
-		t.Fatalf("0-step DPI %v != NS %v", hDPI, hNS)
+	// DPI runs over the fit context's sorted copy, so its standard
+	// deviation accumulates in sorted order and can differ from the
+	// unsorted NormalScaleBandwidth by summation ulps — 1e-12 relative is
+	// the fit-path engine's equivalence budget.
+	if !xmath.AlmostEqual(hDPI, hNS, 1e-12) {
+		t.Fatalf("0-step DPI %v != NS %v beyond 1e-12", hDPI, hNS)
+	}
+	hSorted, err := NormalScaleBandwidthSorted(sortedCopy(samples), kernel.Epanechnikov{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hDPI != hSorted {
+		t.Fatalf("0-step DPI %v != sorted NS %v (must be bit-identical)", hDPI, hSorted)
 	}
 }
 

@@ -1,9 +1,11 @@
 package bandwidth
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"selest/internal/errs"
 	"selest/internal/kernel"
 	"selest/internal/xmath"
 )
@@ -85,10 +87,15 @@ func TestLSCVWithNonEpanechnikovKernel(t *testing.T) {
 	}
 }
 
-func TestLSCVDefaultGrid(t *testing.T) {
+func TestLSCVRejectsDegenerateGrid(t *testing.T) {
+	// The seed silently substituted a 32-point grid for gridN < 2; that
+	// hid caller bugs, so it is now a typed option error.
 	samples := normalSamples(t, 100, 0, 1, 41)
-	if _, err := LSCVBandwidth(samples, kernel.Epanechnikov{}, 0.05, 3, 0); err != nil {
-		t.Fatal(err)
+	for _, gridN := range []int{-5, 0, 1} {
+		_, err := LSCVBandwidth(samples, kernel.Epanechnikov{}, 0.05, 3, gridN)
+		if !errors.Is(err, errs.ErrBadOption) {
+			t.Fatalf("gridN=%d: want errs.ErrBadOption, got %v", gridN, err)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package bandwidth
 
 import (
+	"time"
+
 	"selest/internal/telemetry"
 )
 
@@ -17,4 +19,17 @@ var (
 	ruleNanosDPI         = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi"))
 	ruleNanosDPIBinWidth = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi-binwidth"))
 	ruleNanosLSCV        = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "lscv"))
+
+	// Pilot-build histograms: one observation per pilot density built and
+	// swept inside a DPI iteration. rule_nanos − Σ pilot_nanos is the
+	// non-pilot share of a fit (scale estimation, functional integration),
+	// which the fit-path engine drove toward zero.
+	pilotNanosDPI         = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_pilot_nanos", "rule", "dpi"))
+	pilotNanosDPIBinWidth = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_pilot_nanos", "rule", "dpi-binwidth"))
 )
+
+// pilotObserver is the slice of the telemetry histogram surface the pilot
+// builder needs; naming it keeps pilotDensityGrid testable against fakes.
+type pilotObserver interface {
+	ObserveSince(start time.Time)
+}

@@ -232,11 +232,18 @@ func dispatch(samples []float64, opts Options, method Method) (Estimator, error)
 		}
 		return histogram.BuildFrequencyPolygon(samples, k, opts.DomainLo, opts.DomainHi)
 	case Kernel:
-		h, err := kernelBandwidth(samples, opts, method)
+		// One fit context serves the bandwidth rule (every DPI pilot, every
+		// LSCV grid point) and the final estimator: the sample is sorted and
+		// moment-indexed exactly once per Build.
+		ctx, err := kde.NewFitContext(samples)
 		if err != nil {
 			return nil, err
 		}
-		return kde.New(samples, kde.Config{
+		h, err := kernelBandwidthCtx(ctx, opts, method)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.NewEstimator(kde.Config{
 			Kernel:    opts.Kernel,
 			Bandwidth: h,
 			Boundary:  opts.Boundary,
@@ -310,6 +317,20 @@ func kernelBandwidth(samples []float64, opts Options, method Method) (float64, e
 		recordBandwidth(method, opts.Bandwidth)
 		return opts.Bandwidth, nil
 	}
+	ctx, err := kde.NewFitContext(samples)
+	if err != nil {
+		return 0, err
+	}
+	return kernelBandwidthCtx(ctx, opts, method)
+}
+
+// kernelBandwidthCtx is kernelBandwidth over a pre-built fit context, so
+// the Kernel build path shares one sorted copy between rule and estimator.
+func kernelBandwidthCtx(ctx *kde.FitContext, opts Options, method Method) (float64, error) {
+	if opts.Bandwidth > 0 {
+		recordBandwidth(method, opts.Bandwidth)
+		return opts.Bandwidth, nil
+	}
 	k := opts.Kernel
 	if k == nil {
 		k = kernel.Epanechnikov{}
@@ -324,16 +345,16 @@ func kernelBandwidth(samples []float64, opts Options, method Method) (float64, e
 	)
 	switch rule {
 	case NormalScale:
-		h, err = bandwidth.NormalScaleBandwidth(samples, k)
+		h, err = bandwidth.NormalScaleBandwidthSorted(ctx.Sorted(), k)
 	case DPI:
 		steps := opts.DPISteps
 		if steps == 0 {
 			steps = 2
 		}
-		h, err = bandwidth.DPIBandwidth(samples, k, steps, opts.DomainLo, opts.DomainHi)
+		h, err = bandwidth.DPIBandwidthContext(ctx, k, steps, opts.DomainLo, opts.DomainHi)
 	case LSCV:
 		span := opts.DomainHi - opts.DomainLo
-		h, err = bandwidth.LSCVBandwidth(samples, k, span/1e4, span/2, 48)
+		h, err = bandwidth.LSCVBandwidthSorted(ctx.Sorted(), k, span/1e4, span/2, 48, 0)
 	default:
 		return 0, fmt.Errorf("core: unknown bandwidth rule %q (valid: %s): %w", rule, ruleNames(), ErrBadOption)
 	}

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"strings"
+
+	"selest/internal/errs"
 )
 
 // The typed build errors. Build and the robust ladder wrap these with
@@ -12,17 +13,21 @@ import (
 // strings:
 //
 //	if _, err := selest.Build(nil, opts); errors.Is(err, selest.ErrEmptySample) { ... }
+//
+// The sentinels themselves live in the leaf package internal/errs so the
+// parameter packages (bandwidth, hybrid) can wrap the same values without
+// importing core; these aliases keep the public surface unchanged.
 var (
 	// ErrEmptySample reports a sample set with nothing to estimate from:
 	// empty, or (through the robust ladder) containing no finite value.
-	ErrEmptySample = errors.New("empty sample set")
+	ErrEmptySample = errs.ErrEmptySample
 	// ErrInvalidDomain reports a domain that is not a proper finite
 	// interval (DomainHi must exceed DomainLo).
-	ErrInvalidDomain = errors.New("invalid domain")
+	ErrInvalidDomain = errs.ErrInvalidDomain
 	// ErrBadOption reports an Options field outside its valid range: an
 	// unknown method or rule, a negative count, a non-finite bandwidth,
 	// or a rule/method combination that cannot work.
-	ErrBadOption = errors.New("bad option")
+	ErrBadOption = errs.ErrBadOption
 )
 
 // Validate checks the option set for structural errors — the caller
@@ -69,6 +74,11 @@ func (o Options) Validate() error {
 	}
 	if o.Rule == LSCV && o.Bins == 0 && isHistogramMethod(o.Method) {
 		return fmt.Errorf("LSCV selects kernel bandwidths, not bin counts (method %s): %w", o.Method, ErrBadOption)
+	}
+	if o.Method == Hybrid {
+		if err := o.HybridConfig.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

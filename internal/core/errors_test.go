@@ -63,6 +63,10 @@ func TestValidateOptionErrors(t *testing.T) {
 		{"negative-bandwidth", func(o *Options) { o.Bandwidth = -1 }},
 		{"nan-bandwidth", func(o *Options) { o.Bandwidth = math.NaN() }},
 		{"lscv-histogram", func(o *Options) { o.Rule = LSCV; o.Method = EquiWidth }},
+		{"hybrid-negative-changepoints", func(o *Options) { o.Method = Hybrid; o.HybridConfig.MaxChangePoints = -1 }},
+		{"hybrid-negative-minbinfraction", func(o *Options) { o.Method = Hybrid; o.HybridConfig.MinBinFraction = -0.1 }},
+		{"hybrid-minbinfraction-one", func(o *Options) { o.Method = Hybrid; o.HybridConfig.MinBinFraction = 1 }},
+		{"hybrid-negative-gridsize", func(o *Options) { o.Method = Hybrid; o.HybridConfig.GridSize = -4 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

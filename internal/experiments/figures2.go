@@ -245,8 +245,16 @@ func Fig11(env *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One fit context covers all 49 oracle candidates, the NS rule, the
+		// DPI pilots, and the three final estimators: one sort per file
+		// instead of one per candidate. ctx.NewEstimator is safe for the
+		// oracle's concurrent loss evaluations.
+		ctx, err := kde.NewFitContext(samples)
+		if err != nil {
+			return nil, err
+		}
 		mreFor := func(h float64) float64 {
-			est, err := kde.New(samples, kde.Config{Bandwidth: h, Boundary: kde.BoundaryKernels, DomainLo: lo, DomainHi: hi})
+			est, err := ctx.NewEstimator(kde.Config{Bandwidth: h, Boundary: kde.BoundaryKernels, DomainLo: lo, DomainHi: hi})
 			if err != nil {
 				return math.Inf(1)
 			}
@@ -256,15 +264,15 @@ func Fig11(env *Env) (*Report, error) {
 			}
 			return mre
 		}
-		hNS, err := bandwidth.NormalScaleBandwidth(samples, kernel.Epanechnikov{})
+		hNS, err := bandwidth.NormalScaleBandwidthSorted(ctx.Sorted(), kernel.Epanechnikov{})
 		if err != nil {
 			return nil, err
 		}
-		hOpt, err := bandwidth.Oracle(mreFor, hNS/64, hNS*64, 49)
+		hOpt, err := bandwidth.OracleWorkers(mreFor, hNS/64, hNS*64, 49, env.workers())
 		if err != nil {
 			return nil, err
 		}
-		hDPI, err := bandwidth.DPIBandwidth(samples, kernel.Epanechnikov{}, 2, lo, hi)
+		hDPI, err := bandwidth.DPIBandwidthContext(ctx, kernel.Epanechnikov{}, 2, lo, hi)
 		if err != nil {
 			return nil, err
 		}

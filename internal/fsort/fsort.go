@@ -1,0 +1,98 @@
+// Package fsort provides a fast ascending sort for float64 slices.
+//
+// The fit path is dominated by sorting: the profile of a DPI fit at
+// n = 10⁶ spends ~90% of its time in the comparison sort that feeds the
+// shared fit context. An LSD radix sort over the IEEE-754 bit patterns
+// replaces the O(n log n) comparison sort with at most eight O(n)
+// counting passes (fewer in practice: passes whose byte is constant
+// across the slice — common for data of limited range — are skipped),
+// which is several times faster at the sample sizes the experiments run.
+//
+// Ordering is identical to sort.Float64s for every slice free of NaNs:
+// the key transform (flip the sign bit of non-negatives, flip every bit
+// of negatives) makes unsigned byte order agree with float order,
+// including -Inf, +Inf and signed zeros (-0 and +0 compare equal, so
+// either placement is a valid sort). Slices containing NaNs fall back to
+// sort.Float64s to preserve its NaNs-first convention, as do short
+// slices where the counting passes cannot pay for themselves.
+package fsort
+
+import (
+	"math"
+	"sort"
+)
+
+// radixMin is the slice length below which the comparison sort wins:
+// the radix passes touch 256-entry count tables and two n-word buffers
+// regardless of n.
+const radixMin = 256
+
+// Float64s sorts xs in ascending order. It is a drop-in replacement for
+// sort.Float64s (same ordering, NaNs first), faster for large slices.
+func Float64s(xs []float64) {
+	if len(xs) < radixMin {
+		sort.Float64s(xs)
+		return
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			sort.Float64s(xs)
+			return
+		}
+	}
+	radixSortFloat64s(xs)
+}
+
+// radixSortFloat64s sorts a NaN-free slice by LSD radix passes over the
+// order-preserving key transform of the IEEE-754 bit patterns.
+func radixSortFloat64s(xs []float64) {
+	n := len(xs)
+	keys := make([]uint64, n)
+	for i, x := range xs {
+		b := math.Float64bits(x)
+		// Non-negative: flip the sign bit. Negative: flip all bits.
+		keys[i] = b ^ (uint64(int64(b)>>63) | 1<<63)
+	}
+
+	// All eight byte histograms in one pass over the keys.
+	var hist [8][256]int
+	for _, k := range keys {
+		hist[0][k&0xff]++
+		hist[1][k>>8&0xff]++
+		hist[2][k>>16&0xff]++
+		hist[3][k>>24&0xff]++
+		hist[4][k>>32&0xff]++
+		hist[5][k>>40&0xff]++
+		hist[6][k>>48&0xff]++
+		hist[7][k>>56&0xff]++
+	}
+
+	buf := make([]uint64, n)
+	src, dst := keys, buf
+	for pass := 0; pass < 8; pass++ {
+		h := &hist[pass]
+		// A pass whose byte is constant is the identity permutation.
+		if h[src[0]>>(uint(pass)*8)&0xff] == n {
+			continue
+		}
+		offset := 0
+		for b := 0; b < 256; b++ {
+			c := h[b]
+			h[b] = offset
+			offset += c
+		}
+		shift := uint(pass) * 8
+		for _, k := range src {
+			b := k >> shift & 0xff
+			dst[h[b]] = k
+			h[b]++
+		}
+		src, dst = dst, src
+	}
+
+	for i, k := range src {
+		// Invert the key transform: the top bit tells which branch the
+		// encoder took.
+		xs[i] = math.Float64frombits(k ^ ((k>>63-1)&^(1<<63) | 1<<63))
+	}
+}

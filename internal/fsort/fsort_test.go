@@ -1,0 +1,142 @@
+package fsort
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+// checkMatchesSort pins Float64s to sort.Float64s: identical multiset in
+// identical order (bit-for-bit, except that -0/+0 and duplicate values
+// are interchangeable — which == treats as equal anyway).
+func checkMatchesSort(t *testing.T, xs []float64) {
+	t.Helper()
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	got := append([]float64(nil), xs...)
+	Float64s(got)
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("index %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloat64sMatchesSort(t *testing.T) {
+	r := xrand.New(1)
+	cases := map[string][]float64{
+		"empty":  {},
+		"single": {3.5},
+		"small":  {5, -2, 0, 11, -7, 3, 3, 1},
+	}
+
+	uniform := make([]float64, 10_000)
+	for i := range uniform {
+		uniform[i] = (r.Float64() - 0.5) * 2e6
+	}
+	cases["uniform"] = uniform
+
+	// Limited-range data: high key bytes are constant, exercising the
+	// skipped-pass path.
+	narrow := make([]float64, 5_000)
+	for i := range narrow {
+		narrow[i] = 1e5 + r.Float64()
+	}
+	cases["narrow"] = narrow
+
+	dups := make([]float64, 4_000)
+	for i := range dups {
+		dups[i] = float64(i % 17)
+	}
+	cases["duplicates"] = dups
+
+	sortedIn := append([]float64(nil), uniform...)
+	sort.Float64s(sortedIn)
+	cases["already-sorted"] = sortedIn
+
+	reversed := make([]float64, len(sortedIn))
+	for i, x := range sortedIn {
+		reversed[len(reversed)-1-i] = x
+	}
+	cases["reversed"] = reversed
+
+	specials := make([]float64, 0, 2_000)
+	for i := 0; i < 1_990; i++ {
+		specials = append(specials, (r.Float64()-0.5)*1e300)
+	}
+	specials = append(specials, math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0,
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-math.SmallestNonzeroFloat64, 1e-300, -1e-300)
+	cases["specials"] = specials
+
+	nans := append([]float64(nil), uniform[:1000]...)
+	nans = append(nans, math.NaN(), math.NaN())
+	cases["nan-fallback"] = nans
+
+	for name, xs := range cases {
+		t.Run(name, func(t *testing.T) { checkMatchesSort(t, xs) })
+	}
+}
+
+func FuzzFloat64s(f *testing.F) {
+	f.Add(uint64(7), 1000)
+	f.Add(uint64(42), 300)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 0 || n > 20_000 {
+			t.Skip()
+		}
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Bit-pattern-random floats: covers denormals, infinities,
+			// and wildly mixed magnitudes. NaN patterns are skipped so
+			// the radix path (not the fallback) is what's fuzzed.
+			x := math.Float64frombits(r.Uint64())
+			if math.IsNaN(x) {
+				x = r.Float64()
+			}
+			xs[i] = x
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		Float64s(xs)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("index %d: got %v, want %v", i, xs[i], want[i])
+			}
+		}
+	})
+}
+
+func BenchmarkFitSortRadix(b *testing.B) {
+	r := xrand.New(3)
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = r.Float64() * 1e6
+	}
+	scratch := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, xs)
+		Float64s(scratch)
+	}
+}
+
+func BenchmarkFitSortStdlib(b *testing.B) {
+	r := xrand.New(3)
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = r.Float64() * 1e6
+	}
+	scratch := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, xs)
+		sort.Float64s(scratch)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"selest/internal/fsort"
 )
 
 // Histogram is a bucketised density estimate over samples. Construct with
@@ -248,7 +250,7 @@ func BuildMaxDiff(samples []float64, k int) (*Histogram, error) {
 // input.
 func sortedCopy(samples []float64) []float64 {
 	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
+	fsort.Float64s(s)
 	return s
 }
 

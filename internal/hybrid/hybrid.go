@@ -18,9 +18,12 @@ import (
 	"sort"
 
 	"selest/internal/bandwidth"
+	"selest/internal/errs"
 	"selest/internal/faultinject"
+	"selest/internal/fsort"
 	"selest/internal/kde"
 	"selest/internal/kernel"
+	"selest/internal/parallel"
 	"selest/internal/xmath"
 )
 
@@ -31,13 +34,47 @@ type Config struct {
 	MaxChangePoints int
 	// MinBinFraction is the minimum fraction of samples a bin must hold;
 	// smaller bins are merged with a neighbour. Zero defaults to 0.02.
+	// Must be below 1 (a bin cannot be required to hold more than the
+	// whole sample).
 	MinBinFraction float64
 	// GridSize is the resolution of the second-derivative scan.
-	// Zero defaults to 512.
+	// Zero defaults to 512; positive values below 8 are clamped to 8 (a
+	// shorter grid cannot carry a second-difference table).
 	GridSize int
+	// Workers bounds the concurrency of the per-bin estimator fits (≤0
+	// means GOMAXPROCS). The assembled estimator is identical at every
+	// worker count: each bin is fitted into its own pre-assigned slot
+	// from its own disjoint sample segment.
+	Workers int
 }
 
-func (c *Config) applyDefaults() {
+// Validate rejects configurations no estimator could be built around.
+// The seed's defaulting only replaced zero values, so negative settings
+// passed straight through: a negative GridSize panicked inside the
+// change-point scan, a negative MinBinFraction disabled bin merging, and
+// a negative MaxChangePoints corrupted the separation threshold. Every
+// failure wraps errs.ErrBadOption.
+func (c Config) Validate() error {
+	if c.MaxChangePoints < 0 {
+		return fmt.Errorf("hybrid: MaxChangePoints %d is negative: %w", c.MaxChangePoints, errs.ErrBadOption)
+	}
+	if c.MinBinFraction < 0 || math.IsNaN(c.MinBinFraction) {
+		return fmt.Errorf("hybrid: MinBinFraction %v is not a non-negative fraction: %w", c.MinBinFraction, errs.ErrBadOption)
+	}
+	if c.MinBinFraction >= 1 {
+		return fmt.Errorf("hybrid: MinBinFraction %v would require a bin to hold the whole sample: %w", c.MinBinFraction, errs.ErrBadOption)
+	}
+	if c.GridSize < 0 {
+		return fmt.Errorf("hybrid: GridSize %d is negative: %w", c.GridSize, errs.ErrBadOption)
+	}
+	return nil
+}
+
+// normalize validates and then applies the documented defaults in place.
+func (c *Config) normalize() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
 	if c.MaxChangePoints == 0 {
 		c.MaxChangePoints = 7
 	}
@@ -47,6 +84,10 @@ func (c *Config) applyDefaults() {
 	if c.GridSize == 0 {
 		c.GridSize = 512
 	}
+	if c.GridSize < 8 {
+		c.GridSize = 8
+	}
+	return nil
 }
 
 // bin is one partition cell with its local kernel estimator.
@@ -81,15 +122,25 @@ func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
 	if !(hi > lo) {
 		return nil, fmt.Errorf("hybrid: domain [%v, %v] is empty", lo, hi)
 	}
-	cfg.applyDefaults()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
 
+	// One sort for the whole build. The fit context carries it (and the
+	// prefix-moment index) through the change-point pilot; every bin's
+	// local estimator then gets its own zero-copy context over a disjoint
+	// sub-slice of the same array.
 	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
+	fsort.Float64s(sorted)
 	if sorted[0] < lo || sorted[len(sorted)-1] > hi {
 		return nil, fmt.Errorf("hybrid: samples fall outside the domain [%v, %v]", lo, hi)
 	}
+	ctx, err := kde.NewFitContextSorted(sorted)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
 
-	points, err := changePoints(sorted, lo, hi, cfg)
+	points, err := changePoints(ctx, lo, hi, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -100,15 +151,20 @@ func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
 
 	e := &Estimator{lo: lo, hi: hi, points: bounds[1 : len(bounds)-1]}
 	n := float64(len(sorted))
-	start := 0
-	for i := 0; i < len(counts); i++ {
+	// Segment offsets first, so the per-bin fits are independent: bin i
+	// owns sorted[starts[i] : starts[i]+counts[i]] and slot bins[i].
+	starts := make([]int, len(counts))
+	for i, sum := 0, 0; i < len(counts); i++ {
+		starts[i] = sum
+		sum += counts[i]
+	}
+	e.bins = make([]bin, len(counts))
+	_ = parallel.ForEach(len(counts), cfg.Workers, func(i int) error {
 		count := counts[i]
 		blo, bhi := bounds[i], bounds[i+1]
-		segment := sorted[start : start+count]
-		start += count
 		b := bin{lo: blo, hi: bhi, weight: float64(count) / n}
 		if count > 0 {
-			b.est = localEstimator(segment, blo, bhi)
+			b.est = localEstimator(sorted[starts[i]:starts[i]+count], blo, bhi)
 			if b.est != nil {
 				b.mass = b.est.SelectivityUnclamped(blo, bhi)
 				if b.mass <= 0 {
@@ -116,8 +172,9 @@ func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
 				}
 			}
 		}
-		e.bins = append(e.bins, b)
-	}
+		e.bins[i] = b
+		return nil
+	})
 	return e, nil
 }
 
@@ -125,17 +182,17 @@ func New(samples []float64, lo, hi float64, cfg Config) (*Estimator, error) {
 // scanning greedily in decreasing magnitude with a minimum separation so
 // one sharp feature does not absorb the entire budget (this realises the
 // paper's "further change points are computed recursively").
-func changePoints(sorted []float64, lo, hi float64, cfg Config) ([]float64, error) {
+func changePoints(ctx *kde.FitContext, lo, hi float64, cfg Config) ([]float64, error) {
 	if err := faultinject.Check("hybrid.changepoints"); err != nil {
 		return nil, fmt.Errorf("hybrid: change-point detection: %w", err)
 	}
-	h, err := bandwidth.NormalScaleBandwidth(sorted, kernel.Epanechnikov{})
+	h, err := bandwidth.NormalScaleBandwidthSorted(ctx.Sorted(), kernel.Epanechnikov{})
 	if err != nil {
 		// Degenerate sample (e.g. all duplicates): no smooth structure to
 		// split on; a single bin is the correct outcome.
 		return nil, nil
 	}
-	pilot, err := kde.New(sorted, kde.Config{
+	pilot, err := ctx.NewEstimator(kde.Config{
 		Bandwidth: h, Boundary: kde.BoundaryReflect, DomainLo: lo, DomainHi: hi,
 	})
 	if err != nil {
@@ -143,10 +200,7 @@ func changePoints(sorted []float64, lo, hi float64, cfg Config) ([]float64, erro
 	}
 	xs := xmath.Linspace(lo, hi, cfg.GridSize)
 	dx := xs[1] - xs[0]
-	ys := make([]float64, len(xs))
-	for i, x := range xs {
-		ys[i] = pilot.Density(x)
-	}
+	ys := pilot.DensityGrid(lo, hi, cfg.GridSize)
 	d2 := xmath.SecondDerivativeTable(ys, dx)
 
 	type cand struct {
@@ -244,7 +298,13 @@ func localEstimator(segment []float64, lo, hi float64) *kde.Estimator {
 	if len(segment) < 4 {
 		return nil
 	}
-	h, err := bandwidth.NormalScaleBandwidth(segment, kernel.Epanechnikov{})
+	// The segment is a contiguous slice of the build's sorted array, so
+	// its fit context costs no sort and no copy.
+	sctx, err := kde.NewFitContextSorted(segment)
+	if err != nil {
+		return nil
+	}
+	h, err := bandwidth.NormalScaleBandwidthSorted(segment, kernel.Epanechnikov{})
 	if err != nil || h <= 0 {
 		return nil
 	}
@@ -253,7 +313,7 @@ func localEstimator(segment []float64, lo, hi float64) *kde.Estimator {
 	if w := hi - lo; h > w {
 		h = w
 	}
-	est, err := kde.New(segment, kde.Config{
+	est, err := sctx.NewEstimator(kde.Config{
 		Bandwidth: h, Boundary: kde.BoundaryKernels, DomainLo: lo, DomainHi: hi,
 	})
 	if err != nil {

@@ -17,8 +17,8 @@ package join
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"selest/internal/fsort"
 	"selest/internal/xmath"
 )
 
@@ -109,8 +109,8 @@ func ExactBandJoin(r, s []float64, band float64) int64 {
 	}
 	rs := append([]float64(nil), r...)
 	ss := append([]float64(nil), s...)
-	sort.Float64s(rs)
-	sort.Float64s(ss)
+	fsort.Float64s(rs)
+	fsort.Float64s(ss)
 	var total int64
 	loIdx, hiIdx := 0, 0
 	for _, v := range rs {

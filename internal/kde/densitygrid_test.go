@@ -1,0 +1,126 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"selest/internal/kernel"
+	"selest/internal/xmath"
+)
+
+// gridTol is the agreement budget between the DensityGrid sweep and the
+// pointwise Density evaluator — the fit-path engine's acceptance bar.
+const gridTol = 1e-12
+
+// gridCase enumerates the evaluation windows the sweep must cover: the
+// exact domain, a window overhanging both boundaries (out-of-domain
+// points must evaluate to 0 exactly as Density does), an interior
+// sub-window, and the degenerate single-point grid.
+func gridWindows(lo, hi float64) []struct {
+	lo, hi float64
+	m      int
+} {
+	span := hi - lo
+	return []struct {
+		lo, hi float64
+		m      int
+	}{
+		{lo, hi, 257},
+		{lo - 0.1*span, hi + 0.1*span, 128},
+		{lo + 0.3*span, hi - 0.3*span, 64},
+		{lo, hi, 1},
+	}
+}
+
+func TestDensityGridMatchesPointwise(t *testing.T) {
+	for _, c := range momentCorpus(t) {
+		for _, mode := range []BoundaryMode{BoundaryNone, BoundaryReflect, BoundaryKernels} {
+			for _, hFrac := range []float64{0.004, 0.05, 0.35} {
+				h := (c.hi - c.lo) * hFrac
+				e, err := New(c.samples, Config{Bandwidth: h, Boundary: mode, DomainLo: c.lo, DomainHi: c.hi})
+				if err != nil {
+					t.Fatalf("%s mode=%d h=%v: %v", c.name, mode, h, err)
+				}
+				for _, w := range gridWindows(c.lo, c.hi) {
+					got := e.DensityGrid(w.lo, w.hi, w.m)
+					want := e.densityGridPointwise(w.lo, w.hi, w.m)
+					if len(got) != len(want) {
+						t.Fatalf("%s: length %d != %d", c.name, len(got), len(want))
+					}
+					for i := range got {
+						if !xmath.AlmostEqual(got[i], want[i], gridTol) {
+							t.Fatalf("%s mode=%d h=%v window=[%v,%v] point %d: sweep %v, pointwise %v",
+								c.name, mode, h, w.lo, w.hi, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDensityGridNonEpanechnikovFallback pins the pointwise fallback for
+// kernels without a moment index: the sweep must return exactly what
+// Density returns.
+func TestDensityGridNonEpanechnikovFallback(t *testing.T) {
+	samples := uniformSamples(t, 400, 0, 100, 17)
+	e, err := New(samples, Config{Kernel: kernel.Triangular{}, Bandwidth: 5, Boundary: BoundaryReflect, DomainLo: 0, DomainHi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.DensityGrid(0, 100, 129)
+	for i, x := range xmath.Linspace(0, 100, 129) {
+		if want := e.Density(x); got[i] != want {
+			t.Fatalf("fallback point %d: %v != Density %v", i, got[i], want)
+		}
+	}
+}
+
+// TestDensityGridIntegratesToOne sanity-checks the sweep output on a
+// proper-density mode: reflection keeps unit mass, so the trapezoid
+// integral of the grid must be close to 1.
+func TestDensityGridIntegratesToOne(t *testing.T) {
+	samples := uniformSamples(t, 2000, 0, 1000, 23)
+	e, err := New(samples, Config{Bandwidth: 40, Boundary: BoundaryReflect, DomainLo: 0, DomainHi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := e.DensityGrid(0, 1000, 2001)
+	mass := xmath.IntegrateSamples(ys, 0.5)
+	if math.Abs(mass-1) > 0.01 {
+		t.Fatalf("grid mass %v, want ≈1", mass)
+	}
+}
+
+// FuzzDensityGrid drives random bandwidths and evaluation windows through
+// every boundary mode, holding the sweep to the pointwise evaluator.
+func FuzzDensityGrid(f *testing.F) {
+	f.Add(uint8(0), 0.05, -0.1, 1.1, 33)
+	f.Add(uint8(1), 0.3, 0.0, 1.0, 7)
+	f.Add(uint8(2), 0.01, 0.4, 0.6, 100)
+	samples := uniformSamples(f, 600, 0, 1000, 5)
+	f.Fuzz(func(t *testing.T, mode uint8, hFrac, gLo, gHi float64, m int) {
+		if !(hFrac > 1e-4 && hFrac < 10) || math.IsNaN(gLo) || math.IsNaN(gHi) {
+			t.Skip()
+		}
+		if m < 1 || m > 512 || !(gHi >= gLo) || gLo < -10 || gHi > 10 {
+			t.Skip()
+		}
+		e, err := New(samples, Config{
+			Bandwidth: 1000 * hFrac,
+			Boundary:  BoundaryMode(mode % 3),
+			DomainLo:  0, DomainHi: 1000,
+		})
+		if err != nil {
+			t.Skip()
+		}
+		got := e.DensityGrid(gLo*1000, gHi*1000, m)
+		want := e.densityGridPointwise(gLo*1000, gHi*1000, m)
+		for i := range got {
+			if !xmath.AlmostEqual(got[i], want[i], gridTol) {
+				t.Fatalf("mode=%d h=%v window=[%v,%v] m=%d point %d: sweep %v, pointwise %v",
+					mode%3, 1000*hFrac, gLo*1000, gHi*1000, m, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package kde
+
+// BenchmarkFitDensityGrid vs BenchmarkFitDensityGridPointwise — the grid
+// ablation inside the fit-path evidence: one galloping closed-form sweep
+// against m independent windowed Density scans over the same 512-point
+// pilot grid (the DPI functional / change-point workload).
+
+import (
+	"fmt"
+	"testing"
+)
+
+func densityGridSetup(b *testing.B, n int) *Estimator {
+	b.Helper()
+	samples := uniformSamples(b, n, 0, 1e6, uint64(n))
+	// A DPI-pilot-sized bandwidth: wide windows are exactly where the
+	// pointwise scan degrades to O(m·k).
+	e, err := New(samples, Config{Bandwidth: 5e4, Boundary: BoundaryReflect, DomainLo: 0, DomainHi: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+var gridSizes = []int{2_000, 100_000, 1_000_000}
+
+func BenchmarkFitDensityGrid(b *testing.B) {
+	for _, n := range gridSizes {
+		e := densityGridSetup(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ys := e.DensityGrid(0, 1e6, 512); len(ys) != 512 {
+					b.Fatal("short grid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFitDensityGridPointwise(b *testing.B) {
+	for _, n := range gridSizes {
+		e := densityGridSetup(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ys := e.densityGridPointwise(0, 1e6, 512); len(ys) != 512 {
+					b.Fatal("short grid")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package kde
+
+// The fit-path engine's shared context: the expensive, bandwidth- and
+// boundary-independent state of one sample set — the sorted copy and the
+// centered prefix-moment index — built once and reused by every estimator
+// fitted over that set. The paper's smoothing-parameter rules are
+// iterative (the DPI rule builds a pilot density per step, §4.3) and the
+// grid searches (LSCV, the oracle h-opt columns) fit dozens of candidate
+// estimators; without a context each fit re-sorts and re-indexes the same
+// data. The same applies to the hybrid estimator (§3.3), whose per-bin
+// sample segments are contiguous slices of one sorted array.
+//
+// What stays per-estimator: the reflection buffer and its moment index
+// (mirror membership depends on the bandwidth) and the boundary-strip log
+// prefixes (they depend on the domain). Both are O(boundary samples), not
+// O(n log n).
+
+import (
+	"fmt"
+	"sort"
+
+	"selest/internal/fsort"
+	"selest/internal/telemetry"
+)
+
+// FitContext caches the sorted sample set and its prefix-moment index for
+// repeated estimator fits. It is immutable after construction and safe
+// for concurrent use by any number of NewFromContext calls.
+type FitContext struct {
+	sorted  []float64
+	moments *momentIndex // nil for magnitudes the closed form cannot trust
+}
+
+// NewFitContext builds a fit context from a sample set (copied, then
+// sorted once — by the radix sort in internal/fsort, which the fit-path
+// profile is dominated by at n = 10⁶).
+func NewFitContext(samples []float64) (*FitContext, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("kde: empty sample set")
+	}
+	sorted := append([]float64(nil), samples...)
+	fsort.Float64s(sorted)
+	return newFitContextSorted(sorted), nil
+}
+
+// NewFitContextSorted builds a fit context over an already-sorted slice,
+// which it aliases — the caller must not mutate it afterwards. This is
+// the zero-copy entry for callers that already hold sorted data, such as
+// the hybrid estimator's per-bin segments (contiguous sub-slices of one
+// sorted array).
+func NewFitContextSorted(sorted []float64) (*FitContext, error) {
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("kde: empty sample set")
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		return nil, fmt.Errorf("kde: NewFitContextSorted needs sorted input")
+	}
+	if telemetry.Enabled() {
+		fitSortsAvoided.Inc()
+	}
+	return newFitContextSorted(sorted), nil
+}
+
+func newFitContextSorted(sorted []float64) *FitContext {
+	return &FitContext{sorted: sorted, moments: newMomentIndex(sorted)}
+}
+
+// Sorted returns the context's sorted sample slice. It is shared state:
+// callers must treat it as read-only.
+func (c *FitContext) Sorted() []float64 { return c.sorted }
+
+// SampleSize returns the number of samples in the context.
+func (c *FitContext) SampleSize() int { return len(c.sorted) }
+
+// NewEstimator fits an estimator from the context without re-sorting the
+// samples or rebuilding the prefix-moment index. The estimator aliases
+// the context's sorted slice and (for the Epanechnikov kernel) its moment
+// index; only the bandwidth-dependent reflection set and the
+// domain-dependent strip prefixes are built per call. Results are
+// bit-identical to New over the same samples.
+func (c *FitContext) NewEstimator(cfg Config) (*Estimator, error) {
+	if telemetry.Enabled() {
+		fitSortsAvoided.Inc()
+	}
+	// newSorted ignores the shared index for non-Epanechnikov kernels, so
+	// passing it unconditionally is safe.
+	return newSorted(c.sorted, cfg, c.moments)
+}
+
+// NewFromContext is the free-function spelling of FitContext.NewEstimator,
+// mirroring New for call sites that read better with the config last.
+func NewFromContext(c *FitContext, cfg Config) (*Estimator, error) {
+	return c.NewEstimator(cfg)
+}

@@ -102,16 +102,36 @@ type Estimator struct {
 	// moments/reflMoments are the prefix-moment indexes (moments.go) that
 	// answer Epanechnikov queries in O(log n) with no per-sample loop.
 	// They are nil for other kernels or untrustworthy magnitudes, in which
-	// case queries take the O(log n + k) edge-scan path.
+	// case queries take the O(log n + k) edge-scan path. moments may be
+	// shared with a FitContext (and its sibling estimators); reflMoments
+	// and strips are bandwidth/domain-dependent and always owned.
 	moments     *momentIndex
 	reflMoments *momentIndex
+	strips      *stripLogs
 }
 
 // New builds an estimator from a sample set (copied). The sample set must
 // be non-empty and the bandwidth positive. For boundary treatments the
 // domain must be a proper interval containing the samples.
+//
+// Callers fitting many estimators over one sample set (bandwidth-rule
+// iterations, grid searches, the hybrid per-bin fits) should sort once
+// through NewFitContext and fit with NewFromContext instead.
 func New(samples []float64, cfg Config) (*Estimator, error) {
 	if len(samples) == 0 {
+		return nil, fmt.Errorf("kde: empty sample set")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return newSorted(sorted, cfg, nil)
+}
+
+// newSorted builds an estimator over an already-sorted sample slice, which
+// it aliases (the caller must not mutate it afterwards). shared, when
+// non-nil, is a prefix-moment index over exactly that slice, reused
+// instead of rebuilt.
+func newSorted(sorted []float64, cfg Config, shared *momentIndex) (*Estimator, error) {
+	if len(sorted) == 0 {
 		return nil, fmt.Errorf("kde: empty sample set")
 	}
 	if cfg.Bandwidth <= 0 || math.IsNaN(cfg.Bandwidth) || math.IsInf(cfg.Bandwidth, 0) {
@@ -125,15 +145,14 @@ func New(samples []float64, cfg Config) (*Estimator, error) {
 		return nil, fmt.Errorf("kde: boundary kernels require the Epanechnikov kernel, got %s", k.Name())
 	}
 	e := &Estimator{
-		sorted: append([]float64(nil), samples...),
-		n:      len(samples),
+		sorted: sorted,
+		n:      len(sorted),
 		h:      cfg.Bandwidth,
 		k:      k,
 		mode:   cfg.Boundary,
 		lo:     cfg.DomainLo,
 		hi:     cfg.DomainHi,
 	}
-	sort.Float64s(e.sorted)
 	if cfg.Boundary != BoundaryNone {
 		if !(cfg.DomainLo < cfg.DomainHi) {
 			return nil, fmt.Errorf("kde: boundary treatment needs a proper domain, got [%v, %v]", cfg.DomainLo, cfg.DomainHi)
@@ -145,13 +164,16 @@ func New(samples []float64, cfg Config) (*Estimator, error) {
 	if cfg.Boundary == BoundaryReflect {
 		e.buildReflection()
 	}
-	e.buildMoments()
+	e.buildMoments(shared)
 	return e, nil
 }
 
 // buildReflection mirrors the samples within kernel reach of each boundary.
 // The two mirror sets are counted by binary search first so reflected is
-// allocated exactly once at its final size.
+// allocated exactly once at its final size. No sort is needed: left
+// mirrors (2·lo − x, all ≤ lo) emitted in reverse sample order are
+// ascending, right mirrors (2·hi − x, all ≥ hi) likewise, and every left
+// mirror precedes every right mirror.
 func (e *Estimator) buildReflection() {
 	reach := e.h * e.k.Support()
 	// Left mirrors: samples with x − lo < reach, i.e. x < lo + reach.
@@ -163,23 +185,28 @@ func (e *Estimator) buildReflection() {
 		return
 	}
 	e.reflected = make([]float64, 0, nLeft+nRight)
-	for _, x := range e.sorted[:nLeft] {
-		e.reflected = append(e.reflected, 2*e.lo-x)
+	for i := nLeft - 1; i >= 0; i-- {
+		e.reflected = append(e.reflected, 2*e.lo-e.sorted[i])
 	}
-	for _, x := range e.sorted[firstRight:] {
-		e.reflected = append(e.reflected, 2*e.hi-x)
+	for i := len(e.sorted) - 1; i >= firstRight; i-- {
+		e.reflected = append(e.reflected, 2*e.hi-e.sorted[i])
 	}
-	sort.Float64s(e.reflected)
 }
 
-// buildMoments precomputes the prefix-moment indexes (moments.go). Only
-// the Epanechnikov kernel has the cubic primitive the closed form needs;
-// newMomentIndex additionally refuses magnitudes it cannot sum safely.
-func (e *Estimator) buildMoments() {
+// buildMoments precomputes the prefix-moment indexes (moments.go), reusing
+// a context-shared index over the sorted samples when one is supplied.
+// Only the Epanechnikov kernel has the cubic primitive the closed form
+// needs; newMomentIndex additionally refuses magnitudes it cannot sum
+// safely.
+func (e *Estimator) buildMoments(shared *momentIndex) {
 	if _, ok := e.k.(kernel.Epanechnikov); !ok {
 		return
 	}
-	e.moments = newMomentIndex(e.sorted)
+	if shared != nil {
+		e.moments = shared
+	} else {
+		e.moments = newMomentIndex(e.sorted)
+	}
 	if e.moments == nil {
 		return
 	}
@@ -192,7 +219,7 @@ func (e *Estimator) buildMoments() {
 		}
 	}
 	if e.mode == BoundaryKernels {
-		e.moments.buildStripLogs(e.lo, e.hi)
+		e.strips = newStripLogs(e.sorted, e.lo, e.hi)
 	}
 }
 

@@ -103,18 +103,27 @@ const maxMomentMagnitude = 1e90
 
 // momentIndex holds centered, compensated prefix moments over one sorted
 // sample slice, answering Σᵢ CDF_epa((y − Xᵢ)/h) over all samples in
-// O(log n). It is immutable after construction.
+// O(log n). It is immutable after construction and therefore safe to
+// share: a FitContext builds one index per sample set and every estimator
+// fitted from that context aliases it. Domain-dependent state (the
+// boundary-strip log prefixes) lives in the per-estimator stripLogs.
 type momentIndex struct {
 	xs []float64 // the sorted samples (aliased, not owned)
 	c  float64   // centering constant: midpoint of the sample hull
 	// p1..p3: prefix sums of (x−c)^k, length len(xs)+1. p0 is the index
 	// itself (the samples are unweighted).
 	p1, p2, p3 []dd
-	// lnLo/lnHi: prefix sums of ln(x − lo) and ln(hi − x), built only for
-	// BoundaryKernels mode (the strip closed form needs Σ ln s over the
-	// samples whose strip integral is clipped at v = s). Entries for
-	// x ≤ lo (resp. x ≥ hi) are 0 — such samples never fall inside a
-	// clipped group, so the substitution never reaches a range sum.
+}
+
+// stripLogs holds the boundary-strip log prefixes for one (domain,
+// sample-set) pair: prefix sums of ln(x − lo) and ln(hi − x), built only
+// for BoundaryKernels mode (the strip closed form needs Σ ln s over the
+// samples whose strip integral is clipped at v = s). Entries for x ≤ lo
+// (resp. x ≥ hi) are 0 — such samples never fall inside a clipped group,
+// so the substitution never reaches a range sum. The prefixes depend on
+// the estimator's domain, so they are owned by the Estimator rather than
+// the (shareable) momentIndex.
+type stripLogs struct {
 	lnLo, lnHi []dd
 }
 
@@ -154,23 +163,26 @@ func newMomentIndex(xs []float64) *momentIndex {
 	return m
 }
 
-// buildStripLogs adds the boundary-strip log prefixes for the domain
-// [lo, hi] (BoundaryKernels mode only).
-func (m *momentIndex) buildStripLogs(lo, hi float64) {
-	n := len(m.xs)
-	m.lnLo = make([]dd, n+1)
-	m.lnHi = make([]dd, n+1)
+// newStripLogs builds the boundary-strip log prefixes for the domain
+// [lo, hi] over the sorted samples (BoundaryKernels mode only).
+func newStripLogs(xs []float64, lo, hi float64) *stripLogs {
+	n := len(xs)
+	s := &stripLogs{
+		lnLo: make([]dd, n+1),
+		lnHi: make([]dd, n+1),
+	}
 	var sLo, sHi dd
-	for i, x := range m.xs {
+	for i, x := range xs {
 		if x > lo {
 			sLo = sLo.add(dd{math.Log(x - lo), 0})
 		}
 		if x < hi {
 			sHi = sHi.add(dd{math.Log(hi - x), 0})
 		}
-		m.lnLo[i+1] = sLo
-		m.lnHi[i+1] = sHi
+		s.lnLo[i+1] = sLo
+		s.lnHi[i+1] = sHi
 	}
+	return s
 }
 
 // window returns the index range [l, r) of samples inside the kernel
@@ -216,6 +228,30 @@ func (m *momentIndex) windowSum(l, r int, y, h float64) float64 {
 	ih := 1 / h
 	// Σ CDF(u) = k/2 + ¾Σu − ¼Σu³.
 	return float64(l) + 0.5*kf + 0.25*ih*(3*sumU.val()-sumU3.val()*ih*ih)
+}
+
+// densitySum evaluates Σᵢ K((x − Xᵢ)/h) over the window [l, r) through
+// the centered prefix moments: for the Epanechnikov kernel
+//
+//	Σ K(uᵢ) = ¾·(k − Σuᵢ²),  Σuᵢ² = (k·z² − 2z·S1 + S2)/h²,  z = x − c,
+//
+// so one density evaluation is O(1) once the window is known. This is the
+// closed form behind DensityGrid: a pilot-density sweep over m grid points
+// costs O(m) closed-form evaluations plus monotone cursor advances instead
+// of m independent O(log n + k) edge scans.
+func (m *momentIndex) densitySum(l, r int, x, h float64) float64 {
+	k := r - l
+	if k == 0 {
+		return 0
+	}
+	kf := float64(k)
+	s1 := m.p1[r].sub(m.p1[l])
+	s2 := m.p2[r].sub(m.p2[l])
+	z := twoDiff(x, m.c)
+	// Σ(x − Xᵢ)² = k·z² − 2z·S1 + S2.
+	q := z.mul(z).mulF(kf).sub(z.mul(s1).mulF(2)).add(s2)
+	ih := 1 / h
+	return 0.75 * (kf - q.val()*ih*ih)
 }
 
 // ---------------------------------------------------------------------------
@@ -271,18 +307,18 @@ func (e *Estimator) stripGSum(m *momentIndex, l, r int, v float64, left bool) fl
 }
 
 // stripLogSum returns Σ (−3 ln sᵢ − 9) over index range [l, r) — the
-// lower-limit term of group B — using the log prefixes:
+// lower-limit term of group B — using the estimator's log prefixes:
 // Σ ln s = Σ ln(X−lo) − k·ln h (left; mirrored on the right).
-func (e *Estimator) stripLogSum(m *momentIndex, l, r int, left bool) float64 {
+func (e *Estimator) stripLogSum(l, r int, left bool) float64 {
 	k := r - l
 	if k <= 0 {
 		return 0
 	}
 	var lnSum dd
 	if left {
-		lnSum = m.lnLo[r].sub(m.lnLo[l])
+		lnSum = e.strips.lnLo[r].sub(e.strips.lnLo[l])
 	} else {
-		lnSum = m.lnHi[r].sub(m.lnHi[l])
+		lnSum = e.strips.lnHi[r].sub(e.strips.lnHi[l])
 	}
 	return -3*(lnSum.val()-float64(k)*math.Log(e.h)) - 9*float64(k)
 }
@@ -312,7 +348,7 @@ func (e *Estimator) stripSumMoment(u1, u2 float64, left bool) float64 {
 		}
 		return e.stripGSum(m, 0, iB, v2, true) -
 			e.stripGSum(m, 0, iA, v1, true) -
-			e.stripLogSum(m, iA, iB, true)
+			e.stripLogSum(iA, iB, true)
 	}
 	// Right strip: s = (hi − X)/h decreases with the index.
 	// Group A: s ≤ 1+lou ⇔ X ≥ hi − (1+lou)h → [iA, n).
@@ -326,7 +362,7 @@ func (e *Estimator) stripSumMoment(u1, u2 float64, left bool) float64 {
 	}
 	return e.stripGSum(m, iB, n, v2, false) -
 		e.stripGSum(m, iA, n, v1, false) -
-		e.stripLogSum(m, iB, iA, false)
+		e.stripLogSum(iB, iA, false)
 }
 
 // ---------------------------------------------------------------------------

@@ -83,12 +83,12 @@ func queriesFor(r *xrand.RNG, lo, hi, h float64, n int) []Range {
 		qs = append(qs, Range{a, a + w})
 	}
 	qs = append(qs,
-		Range{lo, lo + 0.01*span},             // left boundary
-		Range{hi - 0.01*span, hi},             // right boundary
+		Range{lo, lo + 0.01*span},                 // left boundary
+		Range{hi - 0.01*span, hi},                 // right boundary
 		Range{lo + 0.4*span, lo + 0.4*span + h/5}, // narrower than h
-		Range{lo + 0.7*span, lo + 0.2*span},   // inverted: must be 0
-		Range{math.NaN(), lo + 0.5*span},      // NaN: must be 0
-		Range{lo - span, hi + span},           // hull-covering
+		Range{lo + 0.7*span, lo + 0.2*span},       // inverted: must be 0
+		Range{math.NaN(), lo + 0.5*span},          // NaN: must be 0
+		Range{lo - span, hi + span},               // hull-covering
 	)
 	return qs
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"selest/internal/fsort"
 	"selest/internal/kernel"
 )
 
@@ -84,7 +85,7 @@ func NewVariable(samples []float64, cfg VariableConfig) (*VariableEstimator, err
 		baseH:       cfg.PilotBandwidth,
 		sensitivity: alpha,
 	}
-	sort.Float64s(e.sorted)
+	fsort.Float64s(e.sorted)
 	if cfg.Reflect && (e.sorted[0] < cfg.DomainLo || e.sorted[e.n-1] > cfg.DomainHi) {
 		return nil, fmt.Errorf("kde: samples fall outside the domain [%v, %v]", cfg.DomainLo, cfg.DomainHi)
 	}

@@ -1,0 +1,75 @@
+// Package parallel provides the bounded worker pool shared by the
+// experiment harness and the fit-path engine (parallel bandwidth search,
+// hybrid per-bin fits). Callers fan independent cells across at most
+// `workers` goroutines; results land in per-index slots on the caller's
+// side and errors are reported smallest-index-first, so a parallel run is
+// indistinguishable from a sequential one — same results, same error — at
+// any worker count. No external concurrency packages: the pool is a
+// shared atomic cursor over [0, n).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a caller-supplied worker count: values <= 0
+// mean "one worker per available CPU".
+func DefaultWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach calls fn(i) for every i in [0, n) using at most workers
+// goroutines. It always runs every index (no early cancellation — cells
+// are cheap relative to the cost of tearing down a run), and returns the
+// error of the smallest failing index so the caller sees the exact error
+// a sequential loop would have surfaced first.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

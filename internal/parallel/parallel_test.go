@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var hits [100]atomic.Int64
+		if err := ForEach(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReportsSmallestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(50, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 31:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want error of index 7", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(5); got != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d", got)
+	}
+	if got := DefaultWorkers(0); got < 1 {
+		t.Fatalf("DefaultWorkers(0) = %d, want >= 1", got)
+	}
+}

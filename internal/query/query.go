@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"selest/internal/fsort"
 	"selest/internal/xrand"
 )
 
@@ -70,7 +71,7 @@ func GenerateAligned(records []float64, domainLo, domainHi, sizeFrac float64, co
 	}
 	width := sizeFrac * (domainHi - domainLo)
 	sorted := append([]float64(nil), records...)
-	sort.Float64s(sorted)
+	fsort.Float64s(sorted)
 
 	w := &Workload{
 		Queries:    make([]Query, 0, count),
@@ -132,7 +133,7 @@ func PositionSweep(records []float64, domainLo, domainHi, sizeFrac float64, step
 	}
 	width := sizeFrac * (domainHi - domainLo)
 	sorted := append([]float64(nil), records...)
-	sort.Float64s(sorted)
+	fsort.Float64s(sorted)
 	w := &Workload{
 		Queries:    make([]Query, 0, steps),
 		TrueCounts: make([]int, 0, steps),

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"selest/internal/fsort"
 	"selest/internal/xrand"
 )
 
@@ -102,7 +103,7 @@ type PureEstimator struct {
 // NewPureEstimator builds the estimator from a sample set (copied, sorted).
 func NewPureEstimator(samples []float64) *PureEstimator {
 	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
+	fsort.Float64s(s)
 	return &PureEstimator{sorted: s}
 }
 

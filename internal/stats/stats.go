@@ -126,8 +126,22 @@ func IQR(xs []float64) float64 {
 // samples), the other is used; if both degenerate, Scale returns 0 and the
 // caller must treat the sample as degenerate.
 func Scale(xs []float64) float64 {
-	sd := StdDev(xs)
-	iqrS := IQR(xs) / iqrToSigma
+	return combineScale(StdDev(xs), IQR(xs)/iqrToSigma)
+}
+
+// ScaleSorted is Scale for already-sorted input: the quartiles come
+// straight from the order statistics with no sorting copy. The standard
+// deviation is accumulated in sorted order, so the result can differ from
+// Scale on the same (unsorted) sample by a few ulps of summation
+// rounding — the fit-path engine's callers tolerate 1e-12.
+func ScaleSorted(sorted []float64) float64 {
+	iqr := QuantileSorted(sorted, 0.75) - QuantileSorted(sorted, 0.25)
+	return combineScale(StdDev(sorted), iqr/iqrToSigma)
+}
+
+// combineScale applies the paper's min(sd, IQR/1.348) rule with the
+// degenerate-estimate fallbacks documented on Scale.
+func combineScale(sd, iqrS float64) float64 {
 	sdOK := !math.IsNaN(sd) && sd > 0
 	iqrOK := !math.IsNaN(iqrS) && iqrS > 0
 	switch {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"selest/internal/fsort"
 )
 
 // Column is an immutable column of float64 attribute values. A sorted copy
@@ -33,7 +35,7 @@ func NewColumn(values []float64) (*Column, error) {
 		values: append([]float64(nil), values...),
 		sorted: append([]float64(nil), values...),
 	}
-	sort.Float64s(c.sorted)
+	fsort.Float64s(c.sorted)
 	return c, nil
 }
 

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-online race-experiments race-fit fuzz fuzz-query bench bench-query bench-fit bench-fit-quick benchstat-fit ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-experiments race-fit fuzz fuzz-query bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ race:
 # serve while writers fail, panic, and degrade the builder ladder.
 race-online:
 	$(GO) test -race -v -run 'Refit|Panic|Degrad|Drift|Concurrent' ./internal/online/
+
+# The serving-engine suite under the race detector: snapshot/locked
+# bit-equivalence, torn-pair detection, single-flight coalescing, the
+# degradation soak, sharded-reservoir concurrency, and catalog snapshot
+# churn.
+race-serve:
+	$(GO) test -race -run 'Snapshot|Torn|Coalesce|Soak|Sharded|Churn|SelectivityOK|InsertBatch' \
+		./internal/online/ ./internal/sample/ ./internal/catalog/
 
 # The parallel experiment harness under the race detector: bounded worker
 # pool, once-per-key Env cache, and the parallel-equals-sequential report
@@ -92,6 +100,48 @@ benchstat-fit:
 		echo "benchstat not installed or no BENCH_fit.txt baseline; skipping"; \
 	fi
 
+# The serving-engine pairs: snapshot engine vs the preserved RWMutex
+# baseline for steady-state parallel queries, query latency during an
+# n=1e6 DPI refit (the p50/p99/max stall numbers), sharded vs locked
+# ingest, and the mixed workload. -cpu 1,8 sweeps GOMAXPROCS so the
+# contention collapse is visible next to the uncontended cost. Writes
+# the raw output to BENCH_serve.txt (the committed benchstat baseline)
+# and the parsed records to BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -cpu 1,8 -timeout 60m \
+		./internal/online/ \
+		| tee /dev/stderr | tee BENCH_serve.txt | sh scripts/bench2json.sh > BENCH_serve.json
+
+# A fast sweep of the same benchmarks: smoke coverage that every
+# BenchmarkServe* still runs, cheap enough for ci. 200 iterations keeps
+# the during-refit pair's 1e6-insert prefill from dominating while still
+# exercising the background-refit loop at least once.
+bench-serve-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 200x -cpu 8 -timeout 10m \
+		./internal/online/ > /dev/null
+
+# benchstat is optional tooling: when installed, diff a fresh quick run
+# of the serve benches against the committed BENCH_serve.txt baseline;
+# skip quietly on a bare Go toolchain.
+benchstat-serve:
+	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_serve.txt ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 200x -cpu 1,8 -timeout 10m \
+			./internal/online/ > BENCH_serve.head.txt; \
+		benchstat BENCH_serve.txt BENCH_serve.head.txt || true; \
+		rm -f BENCH_serve.head.txt; \
+	else \
+		echo "benchstat not installed or no BENCH_serve.txt baseline; skipping"; \
+	fi
+
+# govulncheck is optional tooling: scan when installed, skip quietly on
+# a bare Go toolchain so ci never needs network access.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
 # The fit-path determinism pins under the race detector: parallel LSCV /
 # oracle grids and the hybrid bin fill must be bit-identical to their
 # sequential scans at every worker count.
@@ -99,4 +149,4 @@ race-fit:
 	$(GO) test -race -run 'Workers|FitContext|DensityGrid|MatchesSeed' \
 		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/
 
-ci: vet staticcheck test race race-experiments race-fit bench-fit-quick benchstat-fit
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve

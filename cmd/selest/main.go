@@ -10,18 +10,24 @@
 // through the graceful-degradation ladder (sanitized input, fallback
 // methods on fit failure, guarded estimates); degenerate all-equal data
 // always takes that path, serving a point-mass estimator with a warning
-// instead of exiting.
+// instead of exiting. -online streams the data through the serving
+// engine instead — sharded reservoir ingest, refits on the -refit-every
+// cadence, one final flush — and answers queries from the last published
+// snapshot, reporting "no fit published" rather than a silent zero when
+// no snapshot exists.
 //
 // Examples:
 //
 //	selest -data values.txt -method kernel -boundary kernels 100:200 5:30
 //	selest -data data/n_20.seld -samples 2000 -compare 400000:500000
+//	selest -data data/n_20.seld -online -refit-every 100000 400000:500000
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +53,9 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "sampling seed")
 		compare     = flag.Bool("compare", false, "print every method's estimate next to the exact answer")
 		robust      = flag.Bool("robust", false, "build through the graceful-degradation ladder: sanitize input, fall back to simpler methods on fit failure, guard every estimate")
+		onlineMode  = flag.Bool("online", false, "stream the data through the online serving engine (reservoir ingest + refits) instead of a one-shot fit")
+		refitEvery  = flag.Int("refit-every", 0, "online mode: refit after this many inserts (0 = fill once, flush at end of stream)")
+		shards      = flag.Int("shards", 1, "online mode: reservoir ingest shards")
 		column      = flag.String("column", "", "CSV input: column name or 0-based index (default: first field)")
 		header      = flag.Bool("header", false, "CSV input: first row is a header")
 		evaluate    = flag.String("evaluate", "", "evaluate against a .selq workload file instead of answering ad-hoc queries")
@@ -135,6 +144,16 @@ func main() {
 		methods = selest.Methods()
 	}
 
+	if *onlineMode {
+		if *evaluate != "" || *compare {
+			fail(fmt.Errorf("-online answers ad-hoc queries with one method; drop -evaluate/-compare"))
+		}
+		if err := runOnline(os.Stdout, values, queries, opts, *samples, *refitEvery, *shards, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *evaluate != "" {
 		if err := evaluateWorkload(*evaluate, smp, opts, methods, len(values), robustMode); err != nil {
 			fail(err)
@@ -159,6 +178,42 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runOnline streams the data through the serving engine — sharded
+// reservoir ingest, refits on the -refit-every cadence, one final Flush
+// at end of stream — then answers the queries from the last published
+// snapshot. SelectivityOK distinguishes "no fit published" from a
+// genuine zero-selectivity answer.
+func runOnline(w io.Writer, values []float64, queries []rangeQuery, opts selest.Options, reservoir, refitEvery, shards int, seed uint64) error {
+	est, err := selest.NewOnline(opts, selest.OnlineConfig{
+		ReservoirSize: reservoir,
+		RefitEvery:    refitEvery,
+		Shards:        shards,
+		Seed:          seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := est.InsertBatch(values); err != nil {
+		fmt.Fprintf(os.Stderr, "selest: warning: online refit during ingest: %v\n", err)
+	}
+	if err := est.Flush(); err != nil {
+		return fmt.Errorf("online flush: %w", err)
+	}
+	fmt.Fprintf(w, "online: %d records streamed, %d refits (%d failed), generation %d, %d ingest shards\n\n",
+		est.Inserts(), est.Refits(), est.FailedRefits(), est.Generation(), shards)
+	for _, q := range queries {
+		exact := exactCount(values, q.a, q.b)
+		fmt.Fprintf(w, "Q(%g, %g): exact %d records (selectivity %.6f)\n", q.a, q.b, exact, float64(exact)/float64(len(values)))
+		sel, ok := est.SelectivityOK(q.a, q.b)
+		if !ok {
+			fmt.Fprintf(w, "  %-12s no fit published\n", est.Name())
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s σ̂ = %.6f  ≈ %.0f records\n", est.Name(), sel, sel*float64(len(values)))
+	}
+	return nil
 }
 
 // buildEstimator builds one method's estimator, strictly or through the

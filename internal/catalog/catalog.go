@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"selest/internal/core"
 	"selest/internal/dataset"
@@ -66,25 +67,64 @@ func (e *Entry) Build() (core.Estimator, error) {
 // key identifies an entry.
 type key struct{ table, column string }
 
-// Catalog is an in-memory statistics catalog with binary persistence.
-// It is safe for concurrent use.
-type Catalog struct {
-	mu      sync.RWMutex
+// catState is the immutable unit of publication: both maps are built
+// fresh by every writer and never mutated after the atomic swap, so a
+// reader holding one sees entries and their built estimators in exact
+// correspondence, with no locks on the lookup path. This is the same
+// snapshot pattern the online serving engine uses (DESIGN.md §11):
+// optimiser lookups are the hot path, ANALYZE-style writes are rare, and
+// Go's GC retires superseded states once the last reader drops them.
+type catState struct {
 	entries map[key]*Entry
 	// built caches rebuilt estimators per entry.
 	built map[key]core.Estimator
 }
 
+// Catalog is an in-memory statistics catalog with binary persistence.
+// It is safe for concurrent use: reads (Estimator, EstimateRows, Entry,
+// Columns, Save) are lock-free atomic snapshot loads; writes (Put, Drop)
+// serialize on a mutex, copy the current state, and publish the
+// replacement with one atomic swap.
+type Catalog struct {
+	mu    sync.Mutex // serializes writers only
+	state atomic.Pointer[catState]
+}
+
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{
+	c := &Catalog{}
+	c.state.Store(&catState{
 		entries: make(map[key]*Entry),
 		built:   make(map[key]core.Estimator),
+	})
+	return c
+}
+
+// mutate runs fn over a private copy of the current state under the
+// writer mutex and publishes the result. Readers see either the old
+// state whole or the new state whole.
+func (c *Catalog) mutate(fn func(*catState)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.state.Load()
+	next := &catState{
+		entries: make(map[key]*Entry, len(old.entries)+1),
+		built:   make(map[key]core.Estimator, len(old.built)+1),
 	}
+	for k, v := range old.entries {
+		next.entries[k] = v
+	}
+	for k, v := range old.built {
+		next.built[k] = v
+	}
+	fn(next)
+	c.state.Store(next)
 }
 
 // Put validates and stores an entry, replacing any previous statistics for
-// the same (table, column). The entry's estimator must build.
+// the same (table, column). The entry's estimator must build. The build
+// runs before the writer lock is taken, so a slow fit never blocks
+// concurrent Puts of other columns' readers.
 func (c *Catalog) Put(e *Entry) error {
 	if e == nil {
 		return fmt.Errorf("catalog: nil entry")
@@ -104,19 +144,18 @@ func (c *Catalog) Put(e *Entry) error {
 	}
 	cp := *e
 	cp.Samples = append([]float64(nil), e.Samples...)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key{e.Table, e.Column}
-	c.entries[k] = &cp
-	c.built[k] = est
+	c.mutate(func(st *catState) {
+		k := key{e.Table, e.Column}
+		st.entries[k] = &cp
+		st.built[k] = est
+	})
 	return nil
 }
 
-// Estimator returns the (cached) estimator for a column.
+// Estimator returns the (cached) estimator for a column. The lookup is
+// one atomic load and a map read — no locks.
 func (c *Catalog) Estimator(table, column string) (core.Estimator, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if est, ok := c.built[key{table, column}]; ok {
+	if est, ok := c.state.Load().built[key{table, column}]; ok {
 		return est, nil
 	}
 	return nil, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
@@ -124,9 +163,7 @@ func (c *Catalog) Estimator(table, column string) (core.Estimator, error) {
 
 // Entry returns a copy of the stored entry for a column.
 func (c *Catalog) Entry(table, column string) (*Entry, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[key{table, column}]
+	e, ok := c.state.Load().entries[key{table, column}]
 	if !ok {
 		return nil, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
 	}
@@ -136,49 +173,44 @@ func (c *Catalog) Entry(table, column string) (*Entry, error) {
 }
 
 // EstimateRows returns the estimated result size of a range predicate on a
-// column, scaled by the recorded row count.
+// column, scaled by the recorded row count. One state load covers both
+// lookups, so the estimator and row count always belong together even
+// when a Put lands mid-call.
 func (c *Catalog) EstimateRows(table, column string, a, b float64) (float64, error) {
-	c.mu.RLock()
-	est, ok := c.built[key{table, column}]
-	var rows int64
-	if ok {
-		rows = c.entries[key{table, column}].RowCount
-	}
-	c.mu.RUnlock()
+	st := c.state.Load()
+	est, ok := st.built[key{table, column}]
 	if !ok {
 		return 0, fmt.Errorf("catalog: no statistics for %s.%s", table, column)
 	}
-	return est.Selectivity(a, b) * float64(rows), nil
+	return est.Selectivity(a, b) * float64(st.entries[key{table, column}].RowCount), nil
 }
 
 // Drop removes a column's statistics; it is a no-op if absent.
 func (c *Catalog) Drop(table, column string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.entries, key{table, column})
-	delete(c.built, key{table, column})
+	c.mutate(func(st *catState) {
+		delete(st.entries, key{table, column})
+		delete(st.built, key{table, column})
+	})
 }
 
 // Len returns the number of entries.
 func (c *Catalog) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	return len(c.state.Load().entries)
 }
 
 // Columns lists the stored (table, column) pairs sorted lexicographically.
 func (c *Catalog) Columns() [][2]string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.columnsLocked()
+	return c.state.Load().columns()
 }
 
-// columnsLocked is Columns without locking; the caller holds mu (either
-// mode). Save must use this rather than Columns — recursively acquiring
-// RLock deadlocks when a writer is queued between the two acquisitions.
-func (c *Catalog) columnsLocked() [][2]string {
-	out := make([][2]string, 0, len(c.entries))
-	for k := range c.entries {
+// columns lists the state's (table, column) pairs sorted
+// lexicographically. Save iterates one loaded state through this, so it
+// writes a point-in-time snapshot without blocking writers — the
+// RWMutex-era deadlock between Save and a queued writer is structurally
+// gone.
+func (st *catState) columns() [][2]string {
+	out := make([][2]string, 0, len(st.entries))
+	for k := range st.entries {
 		out = append(out, [2]string{k.table, k.column})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -208,10 +240,10 @@ var catalogMagic = [4]byte{'S', 'E', 'L', 'C'}
 
 const catalogVersion = 1
 
-// Save writes the whole catalog.
+// Save writes the whole catalog — one atomically loaded state, so the
+// file is a consistent point-in-time snapshot even while writers land.
 func (c *Catalog) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	st := c.state.Load()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(catalogMagic[:]); err != nil {
 		return fmt.Errorf("catalog: %w", err)
@@ -219,12 +251,12 @@ func (c *Catalog) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint16(catalogVersion)); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.entries))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(st.entries))); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
 	// Deterministic order for reproducible files.
-	for _, tc := range c.columnsLocked() {
-		e := c.entries[key{tc[0], tc[1]}]
+	for _, tc := range st.columns() {
+		e := st.entries[key{tc[0], tc[1]}]
 		for _, s := range []string{e.Table, e.Column, string(e.Method), string(e.Rule)} {
 			if len(s) > math.MaxUint16 {
 				return fmt.Errorf("catalog: string too long")

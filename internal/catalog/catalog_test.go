@@ -264,3 +264,69 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSnapshotChurn hammers the lock-free read path (Estimator,
+// EstimateRows, Columns, Len, Save) while writers Put and Drop disjoint
+// columns — the race-detector target for the atomic-snapshot catalog.
+// Readers must always observe a consistent state: any column listed by
+// Columns resolves through Entry/Estimator of the SAME loaded state, and
+// a pinned column that is never dropped answers on every iteration.
+func TestSnapshotChurn(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntry("t", "pinned", 1)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			col := []string{"a", "b"}[w]
+			for i := 0; i < 150; i++ {
+				if err := c.Put(testEntry("t", col, uint64(40+i))); err != nil {
+					panic(err)
+				}
+				c.Drop("t", col)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var buf bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.EstimateRows("t", "pinned", 100, 300); err != nil {
+					panic("pinned column vanished: " + err.Error())
+				}
+				for _, tc := range c.Columns() {
+					// Columns and Entry load separate states, so a
+					// dropped column may legitimately miss — but the
+					// pinned one never may.
+					if _, err := c.Entry(tc[0], tc[1]); err != nil && tc[1] == "pinned" {
+						panic(err)
+					}
+				}
+				if c.Len() < 1 {
+					panic("catalog lost its pinned entry")
+				}
+				buf.Reset()
+				if err := c.Save(&buf); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if _, err := c.Estimator("t", "pinned"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,3 +20,16 @@ var (
 	onlineDegradations = telemetry.Default.Counter("selest_online_degradations_total")
 	onlineRefitNanos   = telemetry.Default.Histogram("selest_online_refit_nanos")
 )
+
+// Serving-engine telemetry. A refit "stall" is the reservoir-copy
+// critical section — the only interval where a refit holds any lock an
+// inserter can contend on; queries never stall at all, which is the
+// point. Swaps count published snapshots, coalesced counts insert-path
+// triggers absorbed by an in-flight build, and the rung gauge mirrors
+// DegradationLevel so dashboards see ladder position without polling.
+var (
+	onlineRefitStallNanos = telemetry.Default.Histogram("selest_online_refit_stall_ns")
+	onlineSnapshotSwaps   = telemetry.Default.Counter("selest_online_snapshot_swaps_total")
+	onlineRefitCoalesced  = telemetry.Default.Counter("selest_online_refit_coalesced_total")
+	onlineBuilderRung     = telemetry.Default.Gauge("selest_online_builder_rung")
+)

@@ -8,17 +8,33 @@
 // reservoir has drifted away from the sample the current fit was built
 // on. Between refits, queries are answered by the existing fit, so the
 // insert path stays O(1) amortised.
+//
+// # Serving engine
+//
+// The serve path is lock-free: the current fit, the sample it was built
+// from, and a generation counter live together in one immutable snapshot
+// published through an atomic.Pointer. A query is one atomic load plus
+// the fit's own Selectivity — no locks, no allocations, and no way to
+// observe a fit paired with another fit's sample. Refits build the
+// replacement estimator entirely off-lock from a copy of the reservoir
+// and publish it with a single pointer swap; Go's garbage collector
+// retires the old snapshot once the last in-flight reader drops it,
+// which is the whole memory-reclamation story RCU schemes labour over.
+// A single-flight guard coalesces concurrent refit triggers into one
+// build (Flush still waits for and then supersedes an in-flight build),
+// and the reservoir itself stripes inserts over independently locked
+// shards so writers stop serializing on one mutex. See DESIGN.md §11.
 package online
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selest/internal/sample"
 	"selest/internal/stats"
 	"selest/internal/telemetry"
-	"selest/internal/xrand"
 )
 
 // Fitted is the estimator surface a fit must provide.
@@ -48,6 +64,14 @@ type Config struct {
 	DriftCheckEvery int
 	// Seed drives the reservoir's RNG.
 	Seed uint64
+	// Shards stripes reservoir ingest over this many independently
+	// locked shards, so concurrent Inserts stop serializing on one
+	// mutex. Zero and one keep the single reservoir (and its exact
+	// seeded sampling behaviour); heavy parallel ingest should set this
+	// near GOMAXPROCS. Sharding keeps the sample uniform (each shard is
+	// a uniform reservoir over a round-robin 1-in-Shards slice of the
+	// stream) but changes which individual records a given seed retains.
+	Shards int
 
 	// DegradeAfter is the strike count of the degradation ladder: after
 	// this many consecutive refit failures the estimator moves to the
@@ -73,31 +97,58 @@ func (c *Config) applyDefaults() {
 	if c.DegradeAfter == 0 {
 		c.DegradeAfter = 3
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+}
+
+// snapshot is the immutable unit of publication: a fit, the sample it
+// was built from, and the generation that produced it. Snapshots are
+// never mutated after the atomic swap, so a reader holding one sees a
+// consistent (fit, fitSample, generation) triple no matter how many
+// refits land while it works.
+type snapshot struct {
+	fit        Fitted
+	fitSample  []float64
+	generation uint64
 }
 
 // Estimator is a self-maintaining online selectivity estimator. It is
-// safe for concurrent use.
+// safe for concurrent use: queries read the current snapshot through an
+// atomic pointer (no locks, no allocations), inserts stripe over the
+// sharded reservoir, and refits run off-lock behind a single-flight
+// guard.
 //
-// Refit failures never take down the query path: the previous fit keeps
-// serving, builder panics are contained into errors, and after
+// Refit failures never take down the query path: the previous snapshot
+// keeps serving, builder panics are contained into errors, and after
 // Config.DegradeAfter consecutive failures the estimator degrades to the
 // next Config.Fallbacks builder.
 type Estimator struct {
-	builders []Builder // primary builder followed by the fallbacks
+	builders []Builder
 	cfg      Config
 
-	mu           sync.RWMutex
-	reservoir    *sample.Reservoir
-	fit          Fitted
-	fitSample    []float64 // the sample the current fit was built from
-	sinceRefit   int
-	sinceCheck   int
-	refits       int
-	inserts      int
-	builderIdx   int   // current rung into builders
-	consecFails  int   // consecutive failures of the current builder
-	failedRefits int   // total refit failures over the estimator's life
-	lastErr      error // most recent refit failure
+	// snap is the serving state. nil until the first successful fit.
+	snap atomic.Pointer[snapshot]
+
+	reservoir *sample.ShardedReservoir
+
+	inserts    atomic.Int64
+	sinceRefit atomic.Int64
+	sinceCheck atomic.Int64
+
+	// refitMu is the single-flight guard: whoever holds it is the one
+	// goroutine building a replacement snapshot. Insert-path triggers
+	// TryLock and coalesce when a build is already in flight; Flush
+	// blocks until the in-flight build finishes, then builds again so
+	// its caller observes a fit of the current reservoir. The ladder
+	// state below is written only under refitMu but read via atomics so
+	// accessors never block behind a slow build.
+	refitMu      sync.Mutex
+	refits       atomic.Int64
+	failedRefits atomic.Int64
+	consecFails  atomic.Int64
+	builderIdx   atomic.Int64
+	lastErr      atomic.Pointer[error]
 }
 
 // New returns an online estimator that fits with build. The estimator
@@ -113,6 +164,9 @@ func New(build Builder, cfg Config) (*Estimator, error) {
 	if cfg.DriftAlpha < 0 || cfg.DriftAlpha >= 1 {
 		return nil, fmt.Errorf("online: drift alpha %v outside [0, 1)", cfg.DriftAlpha)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("online: negative shard count %d", cfg.Shards)
+	}
 	builders := make([]Builder, 0, 1+len(cfg.Fallbacks))
 	builders = append(builders, build)
 	for _, fb := range cfg.Fallbacks {
@@ -124,91 +178,137 @@ func New(build Builder, cfg Config) (*Estimator, error) {
 	return &Estimator{
 		builders:  builders,
 		cfg:       cfg,
-		reservoir: sample.NewReservoir(xrand.New(cfg.Seed), cfg.ReservoirSize),
+		reservoir: sample.NewSharded(cfg.Seed, cfg.ReservoirSize, cfg.Shards),
 	}, nil
 }
 
 // Insert offers one stream record, refitting when the cadence or the
 // drift detector says so. The first refit happens once the reservoir is
-// full (or at the first cadence boundary for short streams).
+// full (or at the first cadence boundary for short streams). The insert
+// that crosses a refit boundary runs the build itself — off-lock, so
+// concurrent inserts and queries proceed underneath it — and returns any
+// build error; inserts that cross a boundary while a build is already in
+// flight coalesce into it and return nil.
 func (e *Estimator) Insert(v float64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	wasFull := e.reservoir.Len() == e.cfg.ReservoirSize
-	kept := e.reservoir.Add(v)
-	e.inserts++
-	e.sinceRefit++
-	e.sinceCheck++
+	_, evicted := e.reservoir.Add(v)
+	e.inserts.Add(1)
+	since := e.sinceRefit.Add(1)
+	checks := e.sinceCheck.Add(1)
 	if telemetry.Enabled() {
 		onlineInserts.Inc()
-		if wasFull && kept {
+		if evicted {
 			onlineEvictions.Inc()
 		}
 	}
 
+	snap := e.snap.Load()
 	switch {
-	case e.fit == nil && e.reservoir.Len() >= e.cfg.ReservoirSize:
-		return e.refitLocked()
-	case e.fit != nil && e.cfg.RefitEvery > 0 && e.sinceRefit >= e.cfg.RefitEvery:
-		return e.refitLocked()
-	case e.fit != nil && e.cfg.DriftAlpha > 0 && e.sinceCheck >= e.cfg.DriftCheckEvery:
-		e.sinceCheck = 0
-		current := e.reservoir.Sample()
-		d := stats.KolmogorovSmirnov(e.fitSample, current)
-		if d > stats.KSCriticalValue(e.cfg.DriftAlpha, len(e.fitSample), len(current)) {
+	case snap == nil:
+		if e.reservoir.Len() >= e.cfg.ReservoirSize {
+			return e.tryRefit()
+		}
+	case e.cfg.RefitEvery > 0 && since >= int64(e.cfg.RefitEvery):
+		return e.tryRefit()
+	case e.cfg.DriftAlpha > 0 && checks >= int64(e.cfg.DriftCheckEvery):
+		e.sinceCheck.Store(0)
+		current := e.reservoir.Snapshot()
+		d := stats.KolmogorovSmirnov(snap.fitSample, current)
+		if d > stats.KSCriticalValue(e.cfg.DriftAlpha, len(snap.fitSample), len(current)) {
 			onlineDriftRefits.Inc()
-			return e.refitLocked()
+			return e.tryRefit()
 		}
 	}
 	return nil
 }
 
+// InsertBatch offers a batch of stream records and reports the first
+// refit error encountered, if any. The per-record work is identical to
+// Insert; batching amortises the trigger checks and keeps the caller's
+// loop tight for high-throughput ingest.
+func (e *Estimator) InsertBatch(vs []float64) error {
+	var firstErr error
+	for _, v := range vs {
+		if err := e.Insert(v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Flush forces a refit from the current reservoir (e.g. before a batch of
 // optimisation decisions, or at end of stream for short streams that
-// never filled the reservoir).
+// never filled the reservoir). If a coalesced build is already in flight,
+// Flush waits for it to finish and then builds again, so on return the
+// snapshot reflects a reservoir state no older than the call.
 func (e *Estimator) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.reservoir.Len() == 0 {
 		return fmt.Errorf("online: no records to fit")
 	}
-	return e.refitLocked()
+	e.refitMu.Lock()
+	defer e.refitMu.Unlock()
+	return e.refit()
 }
 
-// refitLocked rebuilds the fit; the caller holds mu. On failure the
-// previous fit keeps serving: the failure is counted against the current
+// tryRefit is the insert path's single-flight entry: run the refit if no
+// build is in flight, otherwise coalesce into the one that is.
+func (e *Estimator) tryRefit() error {
+	if !e.refitMu.TryLock() {
+		onlineRefitCoalesced.Inc()
+		return nil
+	}
+	defer e.refitMu.Unlock()
+	return e.refit()
+}
+
+// refit rebuilds the fit; the caller holds refitMu (and nothing else —
+// queries and inserts proceed throughout). On failure the previous
+// snapshot keeps serving: the failure is counted against the current
 // builder and, once the strike budget is spent, the estimator degrades to
 // the next fallback builder and retries it immediately so serving
 // freshness recovers without waiting out another refit cadence.
-func (e *Estimator) refitLocked() error {
+func (e *Estimator) refit() error {
 	start := time.Now()
-	smp := e.reservoir.Sample()
+	// The reservoir copy is the only section that touches the ingest
+	// locks — the sole stall any writer can observe from a refit. Record
+	// it as the serving engine's stall number.
+	smp := e.reservoir.Snapshot()
+	onlineRefitStallNanos.ObserveSince(start)
+
 	fit, err := e.buildSafe(smp)
 	for err != nil {
-		e.failedRefits++
-		e.consecFails++
-		e.lastErr = err
+		e.failedRefits.Add(1)
+		fails := e.consecFails.Add(1)
+		e.setLastErr(err)
 		onlineRefitFails.Inc()
-		if e.cfg.DegradeAfter <= 0 || e.consecFails < e.cfg.DegradeAfter || e.builderIdx+1 >= len(e.builders) {
+		if e.cfg.DegradeAfter <= 0 || fails < int64(e.cfg.DegradeAfter) || int(e.builderIdx.Load())+1 >= len(e.builders) {
 			// Back off until the next cadence boundary instead of
 			// retrying the failed fit on every insert.
-			e.sinceRefit = 0
-			e.sinceCheck = 0
+			e.sinceRefit.Store(0)
+			e.sinceCheck.Store(0)
 			onlineBackoffs.Inc()
 			return fmt.Errorf("online: refit (fit kept serving): %w", err)
 		}
-		e.builderIdx++
-		e.consecFails = 0
+		rung := e.builderIdx.Add(1)
+		e.consecFails.Store(0)
 		onlineDegradations.Inc()
+		onlineBuilderRung.Set(float64(rung))
 		fit, err = e.buildSafe(smp)
 	}
-	e.fit = fit
-	e.fitSample = smp
-	e.sinceRefit = 0
-	e.sinceCheck = 0
-	e.refits++
-	e.consecFails = 0
+
+	old := e.snap.Load()
+	var gen uint64 = 1
+	if old != nil {
+		gen = old.generation + 1
+	}
+	// One atomic swap publishes the (fit, sample, generation) triple;
+	// readers either see the old snapshot whole or the new one whole.
+	e.snap.Store(&snapshot{fit: fit, fitSample: smp, generation: gen})
+	e.sinceRefit.Store(0)
+	e.sinceCheck.Store(0)
+	e.refits.Add(1)
+	e.consecFails.Store(0)
 	onlineRefits.Inc()
+	onlineSnapshotSwaps.Inc()
 	onlineRefitNanos.ObserveSince(start)
 	return nil
 }
@@ -221,84 +321,94 @@ func (e *Estimator) buildSafe(smp []float64) (fit Fitted, err error) {
 			fit, err = nil, fmt.Errorf("builder panic: %v", r)
 		}
 	}()
-	fit, err = e.builders[e.builderIdx](smp)
+	fit, err = e.builders[e.builderIdx.Load()](smp)
 	if err == nil && fit == nil {
 		err = fmt.Errorf("builder returned no fit")
 	}
 	return fit, err
 }
 
-// Selectivity answers from the current fit; 0 before the first fit.
+func (e *Estimator) setLastErr(err error) {
+	e.lastErr.Store(&err)
+}
+
+// Selectivity answers from the current snapshot; 0 before the first fit.
+// It is one atomic load plus the fit's own query — no locks and no
+// allocations — so it cannot be stalled by an in-flight refit. Callers
+// that must distinguish "no fit yet" from a genuine zero answer should
+// use SelectivityOK.
 func (e *Estimator) Selectivity(a, b float64) float64 {
-	e.mu.RLock()
-	fit := e.fit
-	e.mu.RUnlock()
-	if fit == nil {
+	s := e.snap.Load()
+	if s == nil {
 		return 0
 	}
-	return fit.Selectivity(a, b)
+	return s.fit.Selectivity(a, b)
+}
+
+// SelectivityOK answers from the current snapshot, reporting whether a
+// fit exists: (0, false) before the first fit, (σ̂, true) after — so a
+// genuine 0-selectivity answer is distinguishable from "no data yet".
+func (e *Estimator) SelectivityOK(a, b float64) (float64, bool) {
+	s := e.snap.Load()
+	if s == nil {
+		return 0, false
+	}
+	return s.fit.Selectivity(a, b), true
+}
+
+// Ready reports whether a fit exists to answer queries.
+func (e *Estimator) Ready() bool { return e.snap.Load() != nil }
+
+// Generation returns the serving snapshot's generation: 0 before the
+// first fit, then incrementing by one at every published refit. It is
+// monotone — the soak tests pin this — so callers can cheaply detect
+// whether the model changed between two reads.
+func (e *Estimator) Generation() uint64 {
+	s := e.snap.Load()
+	if s == nil {
+		return 0
+	}
+	return s.generation
 }
 
 // Refits returns how many times the estimator has been rebuilt.
-func (e *Estimator) Refits() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.refits
-}
+func (e *Estimator) Refits() int { return int(e.refits.Load()) }
 
 // Inserts returns how many records have been offered.
-func (e *Estimator) Inserts() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.inserts
-}
+func (e *Estimator) Inserts() int { return int(e.inserts.Load()) }
 
 // FailedRefits returns how many refit attempts have failed over the
 // estimator's life (the previous fit kept serving through each).
-func (e *Estimator) FailedRefits() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.failedRefits
-}
+func (e *Estimator) FailedRefits() int { return int(e.failedRefits.Load()) }
 
 // ConsecutiveFailures returns the current builder's unbroken failure
 // streak; DegradeAfter of these move the estimator down the ladder.
-func (e *Estimator) ConsecutiveFailures() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.consecFails
-}
+func (e *Estimator) ConsecutiveFailures() int { return int(e.consecFails.Load()) }
 
 // DegradationLevel returns how many rungs down the fallback ladder the
 // estimator currently builds from: 0 is the primary builder.
-func (e *Estimator) DegradationLevel() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.builderIdx
-}
+func (e *Estimator) DegradationLevel() int { return int(e.builderIdx.Load()) }
 
 // LastError returns the most recent refit failure, or nil.
 func (e *Estimator) LastError() error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.lastErr
+	if p := e.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // ResetReservoir drops the reservoir contents — e.g. after an upstream
 // truncation or schema change invalidates the accumulated sample — while
-// the current fit keeps serving until fresh records arrive.
+// the current snapshot keeps serving until fresh records arrive.
 func (e *Estimator) ResetReservoir() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.reservoir.Reset()
 }
 
 // Name identifies the estimator in experiment output.
 func (e *Estimator) Name() string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.fit == nil {
+	s := e.snap.Load()
+	if s == nil {
 		return "online(unfitted)"
 	}
-	return "online(" + e.fit.Name() + ")"
+	return "online(" + s.fit.Name() + ")"
 }

@@ -1,0 +1,426 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selest/internal/sample"
+	"selest/internal/xrand"
+)
+
+func TestSelectivityOKAndReady(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ready() {
+		t.Fatal("fresh estimator claims Ready")
+	}
+	if s, ok := e.SelectivityOK(0, 1000); ok || s != 0 {
+		t.Fatalf("unfitted SelectivityOK = (%v, %v), want (0, false)", s, ok)
+	}
+	if e.Generation() != 0 {
+		t.Fatalf("unfitted Generation = %d", e.Generation())
+	}
+	r := xrand.New(1)
+	for i := 0; i < 50; i++ {
+		if err := e.Insert(r.Float64() * 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Ready() {
+		t.Fatal("estimator not Ready after the reservoir filled")
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("Generation = %d after first fit", e.Generation())
+	}
+	s, ok := e.SelectivityOK(0, 1000)
+	if !ok || s <= 0 {
+		t.Fatalf("fitted SelectivityOK = (%v, %v)", s, ok)
+	}
+	// A genuinely empty range now answers (0, true) — distinguishable
+	// from the unfitted (0, false).
+	if s, ok := e.SelectivityOK(5000, 6000); !ok || s != 0 {
+		t.Fatalf("out-of-domain SelectivityOK = (%v, %v), want (0, true)", s, ok)
+	}
+}
+
+// TestSnapshotMatchesLockedBitForBit drives the snapshot engine and the
+// preserved RWMutex implementation through the same drifting stream
+// (same seed, one shard) and pins that every probed answer is identical
+// bit for bit — the snapshot design changes the concurrency story, not
+// one bit of the estimate.
+func TestSnapshotMatchesLockedBitForBit(t *testing.T) {
+	cfg := Config{
+		ReservoirSize: 200, RefitEvery: 300,
+		DriftAlpha: 0.05, DriftCheckEvery: 70, Seed: 42,
+	}
+	engine, err := New(kernelBuilder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := newLocked(kernelBuilder, cfg)
+
+	r := xrand.New(7)
+	probes := []struct{ a, b float64 }{{0, 1000}, {100, 250}, {400, 401}, {900, 1000}, {0, 0}}
+	for i := 0; i < 6000; i++ {
+		// A drifting mixture so cadence AND drift refits both fire.
+		v := r.Float64() * 1000
+		if i > 3000 {
+			v = 500 + r.NormalMeanStd(0, 1)*80
+		}
+		errA := engine.Insert(v)
+		errB := locked.Insert(v)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("insert %d: error mismatch: %v vs %v", i, errA, errB)
+		}
+		if i%37 == 0 {
+			for _, p := range probes {
+				a := engine.Selectivity(p.a, p.b)
+				b := locked.Selectivity(p.a, p.b)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("insert %d probe (%g,%g): %v != %v", i, p.a, p.b, a, b)
+				}
+			}
+		}
+	}
+	if engine.Refits() != locked.Refits() {
+		t.Fatalf("refit counts diverged: %d vs %d", engine.Refits(), locked.Refits())
+	}
+	if engine.Refits() < 5 {
+		t.Fatalf("stream exercised only %d refits", engine.Refits())
+	}
+	if err := engine.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := locked.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probes {
+		a, b := engine.Selectivity(p.a, p.b), locked.Selectivity(p.a, p.b)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("post-flush probe (%g,%g): %v != %v", p.a, p.b, a, b)
+		}
+	}
+}
+
+// checksumFit pairs a fit with the exact sum of the sample it was built
+// from, so readers can detect a torn (fit, fitSample) pair.
+type checksumFit struct {
+	sum float64
+	n   int
+}
+
+func (c *checksumFit) Selectivity(a, b float64) float64 { return 0.5 }
+func (c *checksumFit) Name() string                     { return "checksum" }
+
+// TestNoTornSnapshotPair hammers refits while readers load the snapshot
+// and verify the fit they got belongs to the fitSample they got: the sum
+// the builder recorded must equal the sum over the published sample. A
+// torn pair (new fit with old sample or vice versa) fails immediately;
+// under the old two-field design this is exactly what a reader between
+// the two writes could observe without the lock.
+func TestNoTornSnapshotPair(t *testing.T) {
+	build := func(samples []float64) (Fitted, error) {
+		sum := 0.0
+		for _, v := range samples {
+			sum += v
+		}
+		return &checksumFit{sum: sum, n: len(samples)}, nil
+	}
+	e, err := New(build, Config{ReservoirSize: 64, RefitEvery: 64, Shards: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.snap.Load()
+				if s == nil {
+					continue
+				}
+				if s.generation < lastGen {
+					panic("generation went backwards")
+				}
+				lastGen = s.generation
+				sum := 0.0
+				for _, v := range s.fitSample {
+					sum += v
+				}
+				cf := s.fit.(*checksumFit)
+				if cf.n != len(s.fitSample) || math.Float64bits(cf.sum) != math.Float64bits(sum) {
+					panic("torn snapshot: fit does not match fitSample")
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			r := xrand.New(uint64(w))
+			for i := 0; i < 20000; i++ {
+				e.Insert(r.Float64() * 1000)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if e.Refits() < 2 {
+		t.Fatalf("only %d refits exercised", e.Refits())
+	}
+}
+
+// TestCoalesceAndFlushWaits gates a builder on a channel to hold a build
+// in flight, then pins the single-flight contract: cadence triggers that
+// land during the build coalesce into it (no second build starts, the
+// trigger returns nil), while Flush blocks until the in-flight build
+// publishes and then builds again itself.
+func TestCoalesceAndFlushWaits(t *testing.T) {
+	gate := make(chan struct{})
+	inFlight := make(chan struct{}, 8)
+	var builds atomic.Int32
+	build := func(samples []float64) (Fitted, error) {
+		if builds.Add(1) > 1 {
+			inFlight <- struct{}{}
+			<-gate
+		}
+		return sample.NewPureEstimator(samples), nil
+	}
+	e, err := New(build, Config{ReservoirSize: 10, RefitEvery: 10, DegradeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // build 1: the fill fit, ungated
+		if err := e.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("Generation = %d after fill fit", e.Generation())
+	}
+
+	// Cross the next cadence boundary from a goroutine; its build blocks
+	// on the gate while holding only the single-flight guard.
+	var trigger sync.WaitGroup
+	trigger.Add(1)
+	go func() {
+		defer trigger.Done()
+		for i := 0; i < 10; i++ {
+			e.Insert(float64(i))
+		}
+	}()
+	<-inFlight
+
+	// Inserts during the in-flight build keep crossing the boundary:
+	// they must coalesce — nil error, no extra build, query path live.
+	coalescedBefore := onlineRefitCoalesced.Value()
+	for i := 0; i < 25; i++ {
+		if err := e.Insert(float64(i)); err != nil {
+			t.Fatalf("coalesced insert returned %v", err)
+		}
+		if s, ok := e.SelectivityOK(0, 9); !ok || s <= 0 {
+			t.Fatal("query path stalled during in-flight build")
+		}
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("%d builds started during in-flight build, want 2", got)
+	}
+	if onlineRefitCoalesced.Value() == coalescedBefore {
+		t.Fatal("coalesced triggers not counted")
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("Generation = %d before the gated build published", e.Generation())
+	}
+
+	// Flush must wait on the in-flight build, then build again.
+	flushed := make(chan error, 1)
+	go func() { flushed <- e.Flush() }()
+	select {
+	case err := <-flushed:
+		t.Fatalf("Flush returned %v while a build was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	trigger.Wait()
+	if err := <-flushed; err != nil {
+		t.Fatal(err)
+	}
+	// Build 2 published generation 2; Flush's own build published 3.
+	if e.Generation() != 3 {
+		t.Fatalf("Generation = %d after flush, want 3", e.Generation())
+	}
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("builds = %d after flush, want 3", got)
+	}
+}
+
+// TestServeSoakThroughDegradation is the -race soak: writers insert,
+// flushers force refits, and readers hammer the query surface while the
+// primary builder fails permanently partway through and serving degrades
+// to the fallback. Pinned invariants: generations are monotone from
+// every reader's viewpoint, and after the first fit no query ever
+// regresses to the unfitted (0, false) answer.
+func TestServeSoakThroughDegradation(t *testing.T) {
+	var okBuilds atomic.Int32
+	primary := func(samples []float64) (Fitted, error) {
+		if okBuilds.Add(1) > 3 {
+			return nil, errors.New("primary down")
+		}
+		return sample.NewPureEstimator(samples), nil
+	}
+	fallback := func(samples []float64) (Fitted, error) {
+		return sample.NewPureEstimator(samples), nil
+	}
+	e, err := New(primary, Config{
+		ReservoirSize: 64, RefitEvery: 128, Shards: 4, Seed: 9,
+		DegradeAfter: 2, Fallbacks: []Builder{fallback},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	perWriter := 30000
+	if testing.Short() {
+		perWriter = 5000
+	}
+	var writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var readyOnce sync.Once
+
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			r := xrand.New(uint64(w + 1))
+			for i := 0; i < perWriter; i++ {
+				e.Insert(r.Float64() * 1000) // failures expected mid-soak
+				if e.Ready() {
+					readyOnce.Do(func() { close(ready) })
+				}
+			}
+		}(w)
+	}
+	var auxWG sync.WaitGroup
+	auxWG.Add(1)
+	go func() { // flusher
+		defer auxWG.Done()
+		<-ready
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Flush() // errors expected while the ladder degrades
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var readersWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readersWG.Add(1)
+		go func(g int) {
+			defer readersWG.Done()
+			<-ready
+			r := xrand.New(uint64(100 + g))
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen := e.Generation()
+				if gen < lastGen {
+					panic("generation went backwards")
+				}
+				lastGen = gen
+				a := r.Float64() * 900
+				s, ok := e.SelectivityOK(a, a+100)
+				if !ok {
+					panic("query regressed to unfitted after first fit")
+				}
+				if s < 0 || s > 1 || math.IsNaN(s) {
+					panic("selectivity out of range")
+				}
+				e.Name()
+				e.DegradationLevel()
+			}
+		}(g)
+	}
+
+	wgDone := make(chan struct{})
+	go func() { writersWG.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("soak wedged")
+	}
+	close(stop)
+	auxWG.Wait()
+	readersWG.Wait()
+
+	if e.Inserts() != writers*perWriter {
+		t.Fatalf("Inserts = %d, want %d", e.Inserts(), writers*perWriter)
+	}
+	if e.DegradationLevel() != 1 {
+		t.Fatalf("DegradationLevel = %d, want 1 (fallback serving)", e.DegradationLevel())
+	}
+	if e.FailedRefits() == 0 {
+		t.Fatal("soak never exercised a failed refit")
+	}
+	if s, ok := e.SelectivityOK(0, 1000); !ok || s <= 0 {
+		t.Fatalf("final SelectivityOK = (%v, %v)", s, ok)
+	}
+}
+
+// TestInsertBatch pins that the batch entry point feeds every record and
+// surfaces the first refit error.
+func TestInsertBatch(t *testing.T) {
+	e, err := New(kernelBuilder, Config{ReservoirSize: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]float64, 500)
+	r := xrand.New(3)
+	for i := range batch {
+		batch[i] = r.Float64() * 1000
+	}
+	if err := e.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if e.Inserts() != len(batch) {
+		t.Fatalf("Inserts = %d, want %d", e.Inserts(), len(batch))
+	}
+	if !e.Ready() {
+		t.Fatal("batch insert never fitted")
+	}
+
+	boom := errors.New("boom")
+	bad, err := New(func([]float64) (Fitted, error) { return nil, boom }, Config{ReservoirSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.InsertBatch(batch[:20]); !errors.Is(err, boom) {
+		t.Fatalf("InsertBatch error = %v, want %v", err, boom)
+	}
+}

@@ -75,9 +75,40 @@ func (rv *Reservoir) Add(x float64) bool {
 	return false
 }
 
-// Sample returns a copy of the current reservoir contents.
-func (rv *Reservoir) Sample() []float64 {
+// Snapshot returns a copy of the current reservoir contents. The copy is
+// independent of the reservoir: later Adds never show through it, so
+// callers (the online refit path, drift checks) can hand it to a builder
+// that runs while the reservoir keeps absorbing the stream.
+func (rv *Reservoir) Snapshot() []float64 {
 	return append([]float64(nil), rv.items...)
+}
+
+// AppendTo appends the current reservoir contents to dst and returns the
+// extended slice — Snapshot without the forced allocation, for callers
+// merging several reservoirs into one buffer.
+func (rv *Reservoir) AppendTo(dst []float64) []float64 {
+	return append(dst, rv.items...)
+}
+
+// Sample returns a copy of the current reservoir contents.
+//
+// Deprecated: Sample is Snapshot under its pre-serving-engine name; new
+// code should call Snapshot.
+func (rv *Reservoir) Sample() []float64 {
+	return rv.Snapshot()
+}
+
+// Clone returns a deep copy of the reservoir — contents, seen count, and
+// RNG state — so the copy evolves exactly as the original would from this
+// point, without sharing any mutable state.
+func (rv *Reservoir) Clone() *Reservoir {
+	rng := *rv.rng
+	return &Reservoir{
+		rng:      &rng,
+		capacity: rv.capacity,
+		seen:     rv.seen,
+		items:    append(make([]float64, 0, rv.capacity), rv.items...),
+	}
 }
 
 // Seen returns how many elements have been offered.

@@ -1,0 +1,181 @@
+package sample
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/xrand"
+)
+
+// TestSnapshotIsolation pins the contract the off-lock refit path depends
+// on: mutating the reservoir after Snapshot must not show through the
+// returned slice, and mutating the slice must not corrupt the reservoir.
+func TestSnapshotIsolation(t *testing.T) {
+	rv := NewReservoir(xrand.New(1), 8)
+	for i := 0; i < 8; i++ {
+		rv.Add(float64(i))
+	}
+	snap := rv.Snapshot()
+	want := append([]float64(nil), snap...)
+	for i := 0; i < 1000; i++ {
+		rv.Add(1e9 + float64(i))
+	}
+	for i := range snap {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot[%d] changed after reservoir mutation: %v -> %v", i, want[i], snap[i])
+		}
+	}
+	snap[0] = -1
+	for _, v := range rv.Snapshot() {
+		if v == -1 {
+			t.Fatal("mutating the snapshot leaked into the reservoir")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rv := NewReservoir(xrand.New(2), 16)
+	for i := 0; i < 100; i++ {
+		rv.Add(float64(i))
+	}
+	cl := rv.Clone()
+	if cl.Seen() != rv.Seen() || cl.Len() != rv.Len() {
+		t.Fatalf("clone counts differ: seen %d/%d len %d/%d", cl.Seen(), rv.Seen(), cl.Len(), rv.Len())
+	}
+	// Same RNG state: fed identical streams, both evolve identically.
+	for i := 100; i < 500; i++ {
+		rv.Add(float64(i))
+		cl.Add(float64(i))
+	}
+	a, b := rv.Snapshot(), cl.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Mutating one does not touch the other.
+	rv.Reset()
+	if cl.Len() == 0 {
+		t.Fatal("resetting the original drained the clone")
+	}
+}
+
+// TestShardedFillsExactlyAtCapacity pins the trigger property the online
+// estimator's first refit relies on: the merged length reaches capacity
+// exactly on the capacity-th insert, with no shard evicting early.
+func TestShardedFillsExactlyAtCapacity(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{100, 1}, {100, 8}, {97, 8}, {64, 7}, {2000, 16}, {5, 8},
+	} {
+		s := NewSharded(1, tc.capacity, tc.shards)
+		for i := 0; i < tc.capacity-1; i++ {
+			if _, evicted := s.Add(float64(i)); evicted {
+				t.Fatalf("cap %d shards %d: eviction at insert %d while filling", tc.capacity, tc.shards, i)
+			}
+		}
+		if s.Len() != tc.capacity-1 {
+			t.Fatalf("cap %d shards %d: Len = %d before last fill insert", tc.capacity, tc.shards, s.Len())
+		}
+		s.Add(float64(tc.capacity))
+		if s.Len() != tc.capacity {
+			t.Fatalf("cap %d shards %d: Len = %d at capacity", tc.capacity, tc.shards, s.Len())
+		}
+		if s.Capacity() != tc.capacity {
+			t.Fatalf("cap %d shards %d: Capacity = %d", tc.capacity, tc.shards, s.Capacity())
+		}
+		// Once full, Len stays pinned at capacity.
+		for i := 0; i < 3*tc.capacity; i++ {
+			s.Add(float64(i))
+		}
+		if s.Len() != tc.capacity {
+			t.Fatalf("cap %d shards %d: Len = %d after overflow", tc.capacity, tc.shards, s.Len())
+		}
+		if s.Seen() != 4*tc.capacity {
+			t.Fatalf("cap %d shards %d: Seen = %d", tc.capacity, tc.shards, s.Seen())
+		}
+	}
+}
+
+// TestShardedOneShardMatchesReservoir pins that S = 1 consumes the RNG in
+// the same order as the plain reservoir, so seeded online streams sample
+// identically before and after the sharded ingest path landed.
+func TestShardedOneShardMatchesReservoir(t *testing.T) {
+	const seed, capacity, n = 7, 50, 5000
+	plain := NewReservoir(xrand.New(seed), capacity)
+	sharded := NewSharded(seed, capacity, 1)
+	r := xrand.New(99)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		plain.Add(v)
+		sharded.Add(v)
+	}
+	a, b := plain.Snapshot(), sharded.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contents diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedUniformity feeds a long 0..1 stream and checks the merged
+// sample's mean stays near 1/2 — a smoke test that striping does not bias
+// the sample toward any stream region.
+func TestShardedUniformity(t *testing.T) {
+	s := NewSharded(3, 2000, 8)
+	r := xrand.New(4)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Float64())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2000 {
+		t.Fatalf("merged snapshot has %d elements", len(snap))
+	}
+	sum := 0.0
+	for _, v := range snap {
+		sum += v
+	}
+	if mean := sum / float64(len(snap)); math.Abs(mean-0.5) > 0.03 {
+		t.Fatalf("merged sample mean %v, want ~0.5", mean)
+	}
+}
+
+// TestShardedConcurrentAdds hammers Add and Snapshot from many goroutines
+// under the race detector and checks the counters add up.
+func TestShardedConcurrentAdds(t *testing.T) {
+	const writers, perWriter = 8, 5000
+	s := NewSharded(5, 512, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(uint64(w))
+			for i := 0; i < perWriter; i++ {
+				s.Add(r.Float64())
+				if i%1024 == 0 {
+					if got := len(s.Snapshot()); got > 512 {
+						panic("snapshot larger than capacity")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Seen() != writers*perWriter {
+		t.Fatalf("Seen = %d, want %d", s.Seen(), writers*perWriter)
+	}
+	if s.Len() != 512 {
+		t.Fatalf("Len = %d, want full", s.Len())
+	}
+	if got := len(s.Snapshot()); got != 512 {
+		t.Fatalf("merged snapshot %d elements", got)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Seen() != 0 || len(s.Snapshot()) != 0 {
+		t.Fatal("reset did not drain the sharded reservoir")
+	}
+}

@@ -1,20 +1,41 @@
 #!/bin/sh
 # bench2json.sh — convert `go test -bench` output on stdin into a JSON
-# array of benchmark records on stdout. Used by `make bench` to commit
-# the telemetry-overhead evidence as BENCH_telemetry.json.
+# array of benchmark records on stdout. Used by the `make bench*` targets
+# to commit benchmark evidence (BENCH_telemetry.json, BENCH_query.json,
+# BENCH_fit.json, BENCH_serve.json).
 #
-# Each "BenchmarkName-P   N   X ns/op   Y B/op   Z allocs/op" line becomes
-#   {"name": "Name", "runs": N, "ns_per_op": X, "bytes_per_op": Y, "allocs_per_op": Z}
-# (memory fields are omitted when -benchmem was not passed).
+# Each "BenchmarkName-P   N   X ns/op   Y B/op   Z allocs/op ..." line
+# becomes
+#   {"name": "Name", "gomaxprocs": P, "runs": N, "ns_per_op": X,
+#    "bytes_per_op": Y, "allocs_per_op": Z}
+# (memory fields are omitted when -benchmem was not passed). The -P
+# suffix is kept as a field so `-cpu 1,8` sweeps stay distinguishable.
+# Custom metrics from b.ReportMetric — e.g. the serve suite's "p99-ns"
+# latency percentiles — are carried through with '/' and '-' mapped to
+# '_' ("p99-ns" -> "p99_ns"), so every reported unit lands in the JSON.
 exec awk '
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1, RLENGTH - 1)
+        sub(/-[0-9]+$/, "", name)
+    }
     sub(/^Benchmark/, "", name)
-    rec = sprintf("{\"name\": \"%s\", \"runs\": %s, \"ns_per_op\": %s", name, $2, $3)
-    for (i = 4; i < NF; i++) {
-        if ($(i + 1) == "B/op")      rec = rec sprintf(", \"bytes_per_op\": %s", $i)
-        if ($(i + 1) == "allocs/op") rec = rec sprintf(", \"allocs_per_op\": %s", $i)
+    rec = sprintf("{\"name\": \"%s\", \"gomaxprocs\": %s, \"runs\": %s", name, procs, $2)
+    for (i = 3; i < NF; i += 2) {
+        val = $i
+        unit = $(i + 1)
+        if (val !~ /^[0-9.eE+-]+$/) continue
+        if (unit == "ns/op")          key = "ns_per_op"
+        else if (unit == "B/op")      key = "bytes_per_op"
+        else if (unit == "allocs/op") key = "allocs_per_op"
+        else if (unit == "MB/s")      key = "mb_per_s"
+        else if (unit ~ /^[A-Za-z][A-Za-z0-9_.\/-]*$/) {
+            key = unit
+            gsub(/[\/-]/, "_", key)
+        } else continue
+        rec = rec sprintf(", \"%s\": %s", key, val)
     }
     rec = rec "}"
     recs[n++] = rec

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-experiments race-fit fuzz fuzz-query bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-experiments race-fit fuzz fuzz-query fuzz-server bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ race-serve:
 	$(GO) test -race -run 'Snapshot|Torn|Coalesce|Soak|Sharded|Churn|SelectivityOK|InsertBatch' \
 		./internal/online/ ./internal/sample/ ./internal/catalog/
 
+# The service chaos suite under the race detector: refit-panic soak with
+# rung descent and recovery, kill-and-restart bit-identical snapshots,
+# shutdown under load dropping nothing, slow-tenant quota isolation, and
+# torn-snapshot cold starts.
+race-service:
+	$(GO) test -race ./internal/server/
+
 # The parallel experiment harness under the race detector: bounded worker
 # pool, once-per-key Env cache, and the parallel-equals-sequential report
 # property.
@@ -47,6 +54,12 @@ fuzz:
 # sample shapes and query bits.
 fuzz-query:
 	$(GO) test -run '^$$' -fuzz FuzzMomentMatchesLinear -fuzztime 30s ./internal/kde/
+
+# Short fuzz pass over the service's HTTP request decoders: malformed
+# JSON, NaN/Inf spellings, inverted ranges — always a typed 4xx, never a
+# panic.
+fuzz-server:
+	$(GO) test -run '^$$' -fuzz FuzzHTTPDecoders -fuzztime 30s ./internal/server/
 
 # staticcheck is optional tooling: run it when installed, skip quietly
 # when not, so ci works on a bare Go toolchain.
@@ -133,6 +146,18 @@ benchstat-serve:
 		echo "benchstat not installed or no BENCH_serve.txt baseline; skipping"; \
 	fi
 
+# The end-to-end service benchmark: boot selestd, drive mixed read/ingest
+# load with selestload, record p50/p99/p999 + retry/shed counts, shut
+# down gracefully. Writes BENCH_service.json — the committed evidence for
+# the service chapter of the README.
+bench-service:
+	sh scripts/bench_service.sh
+
+# A short smoke run of the same harness: proves the daemon boots, serves
+# under load, and drains cleanly, cheap enough for ci. Output discarded.
+bench-service-quick:
+	DURATION=2s WORKERS=8 SEED_VALUES=512 OUT=/dev/null sh scripts/bench_service.sh
+
 # govulncheck is optional tooling: scan when installed, skip quietly on
 # a bare Go toolchain so ci never needs network access.
 govulncheck:
@@ -149,4 +174,4 @@ race-fit:
 	$(GO) test -race -run 'Workers|FitContext|DensityGrid|MatchesSeed' \
 		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/
 
-ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve race-service bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve bench-service-quick

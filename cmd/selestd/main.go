@@ -1,0 +1,149 @@
+// Command selestd is the fault-tolerant multi-tenant estimator daemon: an
+// HTTP/JSON front over the lock-free serving engine, with per-tenant
+// admission control, backpressured ingest, a per-request degradation
+// ladder, and crash-safe snapshot persistence (see internal/server and
+// DESIGN.md §12).
+//
+// Lifecycle: on boot the daemon warm-starts from -snapshot when the file
+// exists (a torn snapshot is logged and served cold unless
+// -require-snapshot makes it fatal), then listens on -addr and prints the
+// bound address — pass :0 to let the kernel pick a port. While serving it
+// persists a crash-safe snapshot every -snapshot-every. On SIGINT/SIGTERM
+// it shuts down gracefully: stop accepting work, drain every accepted
+// request and queued value (bounded by -drain-timeout), flush refits, and
+// write a final snapshot — so the next boot recovers exactly what the
+// last one accepted.
+//
+// Endpoints (all request/response bodies JSON; errors are typed bodies):
+//
+//	POST /v1/attrs          — create an attribute (idempotent)
+//	POST /v1/estimate       — one range query
+//	POST /v1/estimate/batch — many range queries, one attribute
+//	POST /v1/ingest         — enqueue stream values (backpressured)
+//	GET  /healthz           — liveness + drain state
+//	GET  /metrics           — Prometheus text exposition
+//
+// Example:
+//
+//	selestd -addr 127.0.0.1:8765 -snapshot /var/lib/selest/snap.selest
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"selest/internal/catalog"
+	"selest/internal/server"
+	"selest/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8765", "listen address (use :0 for an ephemeral port)")
+		snapshotPath    = flag.String("snapshot", "", "snapshot file: recovered on boot, written on shutdown and every -snapshot-every")
+		snapshotEvery   = flag.Duration("snapshot-every", 0, "periodic crash-safe snapshot interval (0 = only at shutdown)")
+		requireSnapshot = flag.Bool("require-snapshot", false, "refuse to start when -snapshot exists but cannot be recovered (default: log and serve cold)")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: drain, flush, and snapshot within this")
+		quotaRate       = flag.Float64("quota-rate", 0, "per-tenant admission rate in tokens/second (0 = unlimited); estimates cost 1, batches and ingests their size")
+		quotaBurst      = flag.Float64("quota-burst", 0, "per-tenant token-bucket burst")
+		queueCap        = flag.Int("queue-cap", 0, "per-attribute ingest queue bound; overflow sheds oldest (0 = 8192)")
+		maxInflight     = flag.Int64("max-inflight", 0, "inflight-request threshold beyond which fresh estimates degrade to the snapshot rung (0 = 1024)")
+		maxBatch        = flag.Int("max-batch", 0, "max queries per batch / values per ingest (0 = 4096)")
+		defaultTimeout  = flag.Duration("default-timeout", 0, "deadline applied to requests without X-Selest-Timeout-Ms (0 = 5s)")
+		degradeDeadline = flag.Duration("degrade-deadline", 0, "remaining-deadline threshold below which fresh estimates skip their flush (0 = 25ms)")
+	)
+	flag.Parse()
+	log.SetPrefix("selestd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	telemetry.Enable()
+	srv := server.New(server.Config{
+		QuotaRate:       *quotaRate,
+		QuotaBurst:      *quotaBurst,
+		QueueCap:        *queueCap,
+		DefaultTimeout:  *defaultTimeout,
+		DegradeDeadline: *degradeDeadline,
+		MaxInflight:     *maxInflight,
+		MaxBatch:        *maxBatch,
+	})
+
+	if *snapshotPath != "" {
+		switch err := srv.Recover(*snapshotPath); {
+		case err == nil:
+			log.Printf("warm start: recovered %s", *snapshotPath)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("cold start: no snapshot at %s", *snapshotPath)
+		case errors.Is(err, catalog.ErrTornSnapshot) && !*requireSnapshot:
+			log.Printf("cold start: snapshot %s is torn (%v); serving cold", *snapshotPath, err)
+		default:
+			log.Fatalf("recovering %s: %v", *snapshotPath, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The bound address on stdout is the machine-readable contract the
+	// bench harness waits for.
+	fmt.Printf("selestd listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	stopSnapshots := make(chan struct{})
+	if *snapshotPath != "" && *snapshotEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSnapshots:
+					return
+				case <-tick.C:
+					if err := srv.SaveSnapshot(*snapshotPath); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v; draining (budget %v)", s, *drainTimeout)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+	close(stopSnapshots)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight handlers first,
+	// then drain queues, flush refits, and persist.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(ctx, *snapshotPath); err != nil {
+		log.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	if *snapshotPath != "" {
+		log.Printf("shutdown complete; snapshot at %s", *snapshotPath)
+	} else {
+		log.Printf("shutdown complete")
+	}
+}

@@ -1,0 +1,401 @@
+// Command selestload drives mixed read/ingest traffic at a running
+// selestd and reports exact latency percentiles — the committed evidence
+// behind BENCH_service.json.
+//
+// Each worker loops over a -read-frac coin: reads are single estimates
+// (a -batch-frac slice of them batched to amortise transport), writes are
+// -ingest-batch values of uniform noise. The client is a production
+// citizen: every request carries a -timeout budget, and failures retry up
+// to -retries times with exponential backoff plus full jitter, honouring
+// the server's Retry-After on a 429 and announcing the retry via the
+// X-Selest-Retry header so the daemon's retried counter sees it.
+//
+// Latencies are recorded per successful attempt (retries burn their own
+// clock), merged across workers, and reported as p50/p99/p999 alongside
+// throughput, retry, shed, and error counts, as a JSON array in the same
+// record shape the other BENCH_*.json files use.
+//
+// Example:
+//
+//	selestload -addr 127.0.0.1:8765 -duration 10s -workers 32 -out BENCH_service.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+type options struct {
+	addr        string
+	duration    time.Duration
+	workers     int
+	tenants     int
+	attrs       int
+	readFrac    float64
+	batchFrac   float64
+	batchSize   int
+	ingestBatch int
+	freshFrac   float64
+	timeout     time.Duration
+	retries     int
+	seedValues  int
+	out         string
+	seed        int64
+}
+
+// result is one worker's tally; workers never share state while the
+// clock runs.
+type result struct {
+	readNs   []int64
+	ingestNs []int64
+	retries  int64
+	failures int64
+	shed     int64
+	queued   int64
+	statuses map[int]int64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8765", "selestd address")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measured load duration")
+	flag.IntVar(&o.workers, "workers", 32, "concurrent client workers")
+	flag.IntVar(&o.tenants, "tenants", 4, "tenants to spread traffic over")
+	flag.IntVar(&o.attrs, "attrs", 2, "attributes per tenant")
+	flag.Float64Var(&o.readFrac, "read-frac", 0.8, "fraction of requests that are estimates")
+	flag.Float64Var(&o.batchFrac, "batch-frac", 0.2, "fraction of reads sent as batch requests")
+	flag.IntVar(&o.batchSize, "batch", 16, "queries per batch request")
+	flag.IntVar(&o.ingestBatch, "ingest-batch", 64, "values per ingest request")
+	flag.Float64Var(&o.freshFrac, "fresh-frac", 0.01, "fraction of estimates demanding a fresh fit")
+	flag.DurationVar(&o.timeout, "timeout", time.Second, "per-request client timeout")
+	flag.IntVar(&o.retries, "retries", 3, "max retries per request (exponential backoff with jitter)")
+	flag.IntVar(&o.seedValues, "seed-values", 4096, "values ingested per attribute before the clock starts")
+	flag.StringVar(&o.out, "out", "BENCH_service.json", "output file ('-' for stdout)")
+	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	flag.Parse()
+	log.SetPrefix("selestload: ")
+	log.SetFlags(0)
+
+	base := "http://" + o.addr
+	client := &http.Client{Timeout: o.timeout}
+
+	if err := setup(client, base, &o); err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+
+	results := make([]result, o.workers)
+	deadline := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = worker(w, client, base, &o, deadline)
+		}(w)
+	}
+	wg.Wait()
+
+	merged := merge(results)
+	records := report(&o, merged)
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, r := range records {
+		buf.WriteString("  ")
+		b, err := json.Marshal(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf.Write(b)
+		if i < len(records)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("]\n")
+	if o.out == "-" {
+		os.Stdout.Write(buf.Bytes())
+	} else {
+		if err := os.WriteFile(o.out, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("done: %d reads, %d ingests, %d retries, %d failures, %d shed → %s",
+		len(merged.readNs), len(merged.ingestNs), merged.retries, merged.failures, merged.shed, o.out)
+}
+
+func tenantName(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+func attrName(i int) string   { return fmt.Sprintf("attr-%02d", i) }
+
+// setup creates every attribute and pre-fills it so measured reads
+// answer from real fits, not from cold uniform rungs.
+func setup(client *http.Client, base string, o *options) error {
+	rng := rand.New(rand.NewSource(o.seed))
+	for t := 0; t < o.tenants; t++ {
+		for a := 0; a < o.attrs; a++ {
+			create := map[string]any{
+				"tenant": tenantName(t),
+				"attr":   attrName(a),
+				"config": map[string]any{
+					"domain_lo": 0.0, "domain_hi": 1.0,
+					"reservoir_size": 2000, "seed": 7,
+				},
+			}
+			if err := postOK(client, base+"/v1/attrs", create); err != nil {
+				return fmt.Errorf("create %s/%s: %w", tenantName(t), attrName(a), err)
+			}
+			for sent := 0; sent < o.seedValues; sent += 512 {
+				n := o.seedValues - sent
+				if n > 512 {
+					n = 512
+				}
+				values := make([]float64, n)
+				for i := range values {
+					values[i] = rng.Float64()
+				}
+				if err := postOK(client, base+"/v1/ingest", map[string]any{
+					"tenant": tenantName(t), "attr": attrName(a), "values": values,
+				}); err != nil {
+					return fmt.Errorf("seed ingest: %w", err)
+				}
+			}
+			if err := postOK(client, base+"/v1/estimate", map[string]any{
+				"tenant": tenantName(t), "attr": attrName(a),
+				"lo": 0.0, "hi": 1.0, "fresh": true,
+			}); err != nil {
+				return fmt.Errorf("priming fit: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+func postOK(client *http.Client, url string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			if attempt >= 5 {
+				return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+		} else if attempt >= 5 {
+			return err
+		}
+		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
+	}
+}
+
+// worker is one closed-loop client: it fires requests back to back until
+// the deadline, classifying each as read or ingest and recording the
+// latency of every successful attempt.
+func worker(id int, client *http.Client, base string, o *options, deadline time.Time) result {
+	rng := rand.New(rand.NewSource(o.seed + int64(id)*7919))
+	res := result{statuses: make(map[int]int64)}
+	ingestValues := make([]float64, o.ingestBatch)
+	for time.Now().Before(deadline) {
+		tenant := tenantName(rng.Intn(o.tenants))
+		attr := attrName(rng.Intn(o.attrs))
+		var url string
+		var payload any
+		isRead := rng.Float64() < o.readFrac
+		switch {
+		case isRead && rng.Float64() < o.batchFrac:
+			queries := make([]map[string]float64, o.batchSize)
+			for i := range queries {
+				lo := rng.Float64()
+				queries[i] = map[string]float64{"lo": lo, "hi": lo + rng.Float64()*(1-lo)}
+			}
+			url = base + "/v1/estimate/batch"
+			payload = map[string]any{"tenant": tenant, "attr": attr, "queries": queries}
+		case isRead:
+			lo := rng.Float64()
+			url = base + "/v1/estimate"
+			payload = map[string]any{
+				"tenant": tenant, "attr": attr,
+				"lo": lo, "hi": lo + rng.Float64()*(1-lo),
+				"fresh": rng.Float64() < o.freshFrac,
+			}
+		default:
+			for i := range ingestValues {
+				ingestValues[i] = rng.Float64()
+			}
+			url = base + "/v1/ingest"
+			payload = map[string]any{"tenant": tenant, "attr": attr, "values": ingestValues}
+		}
+		ns, ir, ok := request(client, rng, url, payload, o, &res)
+		if !ok {
+			res.failures++
+			continue
+		}
+		if isRead {
+			res.readNs = append(res.readNs, ns)
+		} else {
+			res.ingestNs = append(res.ingestNs, ns)
+			res.shed += int64(ir.Shed)
+			res.queued += int64(ir.Queued)
+		}
+	}
+	return res
+}
+
+type ingestReply struct {
+	Queued int `json:"queued"`
+	Shed   int `json:"shed"`
+}
+
+// request sends one payload with the client-side robustness loop:
+// per-attempt timeout (the http.Client's), Retry-After-honouring 429
+// handling, and exponential backoff with full jitter on transport errors
+// and 5xx. The latency recorded is the successful attempt's alone.
+func request(client *http.Client, rng *rand.Rand, url string, payload any, o *options, res *result) (int64, ingestReply, bool) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, ingestReply{}, false
+	}
+	for attempt := 0; attempt <= o.retries; attempt++ {
+		req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+		if err != nil {
+			return 0, ingestReply{}, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if attempt > 0 {
+			req.Header.Set("X-Selest-Retry", strconv.Itoa(attempt))
+			res.retries++
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			// Transport error or client timeout: back off and retry.
+			sleepBackoff(rng, attempt)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		res.statuses[resp.StatusCode]++
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var ir ingestReply
+			_ = json.Unmarshal(b, &ir)
+			return time.Since(start).Nanoseconds(), ir, true
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// The server says exactly when the budget refills; honour it
+			// (bounded), jittered so a herd of workers does not re-arrive
+			// in step.
+			wait := time.Duration(500+rng.Intn(500)) * time.Millisecond
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				w := time.Duration(secs) * time.Second
+				if w < wait {
+					wait = w
+				}
+			}
+			time.Sleep(wait)
+		case resp.StatusCode >= 500:
+			sleepBackoff(rng, attempt)
+		default:
+			// 4xx other than 429 is a caller bug: retrying cannot help.
+			return 0, ingestReply{}, false
+		}
+	}
+	return 0, ingestReply{}, false
+}
+
+// sleepBackoff is exponential backoff with full jitter: U(0, 10ms·2^n).
+func sleepBackoff(rng *rand.Rand, attempt int) {
+	ceil := 10 * time.Millisecond << uint(attempt)
+	if ceil > 2*time.Second {
+		ceil = 2 * time.Second
+	}
+	time.Sleep(time.Duration(rng.Int63n(int64(ceil))))
+}
+
+func merge(results []result) result {
+	out := result{statuses: make(map[int]int64)}
+	for _, r := range results {
+		out.readNs = append(out.readNs, r.readNs...)
+		out.ingestNs = append(out.ingestNs, r.ingestNs...)
+		out.retries += r.retries
+		out.failures += r.failures
+		out.shed += r.shed
+		out.queued += r.queued
+		for k, v := range r.statuses {
+			out.statuses[k] += v
+		}
+	}
+	return out
+}
+
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// report renders the merged tallies in the BENCH_*.json record shape.
+func report(o *options, m result) []map[string]any {
+	mk := func(name string, ns []int64) map[string]any {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		var sum int64
+		for _, v := range ns {
+			sum += v
+		}
+		rec := map[string]any{
+			"name":       name,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"runs":       len(ns),
+			"workers":    o.workers,
+		}
+		if len(ns) > 0 {
+			rec["ns_per_op"] = sum / int64(len(ns))
+			rec["p50_ns"] = quantile(ns, 0.50)
+			rec["p99_ns"] = quantile(ns, 0.99)
+			rec["p999_ns"] = quantile(ns, 0.999)
+		}
+		return rec
+	}
+	total := len(m.readNs) + len(m.ingestNs)
+	totals := map[string]any{
+		"name":       "ServiceMixedTotals",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"runs":       total,
+		"workers":    o.workers,
+		"duration_s": o.duration.Seconds(),
+		"rps":        float64(total) / o.duration.Seconds(),
+		"read_frac":  o.readFrac,
+		"retries":    m.retries,
+		"failures":   m.failures,
+		"queued":     m.queued,
+		"shed":       m.shed,
+	}
+	return []map[string]any{
+		mk("ServiceMixedRead", m.readNs),
+		mk("ServiceMixedIngest", m.ingestNs),
+		totals,
+	}
+}

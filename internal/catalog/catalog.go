@@ -14,10 +14,14 @@ package catalog
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,6 +30,14 @@ import (
 	"selest/internal/dataset"
 	"selest/internal/kde"
 )
+
+// ErrTornSnapshot is the typed partial-write diagnosis: Load wraps it when
+// a snapshot file ends mid-entry or fails its checksum — the signature a
+// crash left mid-Save before SaveFile was made atomic, or of on-disk
+// corruption. Callers distinguish "torn file, fall back to cold start"
+// (errors.Is(err, ErrTornSnapshot)) from "no snapshot at all"
+// (os.IsNotExist) and from a genuinely malformed file.
+var ErrTornSnapshot = errors.New("torn snapshot (partial write or corruption)")
 
 // Entry is the persisted statistics record of one column.
 type Entry struct {
@@ -235,13 +247,18 @@ func (st *catState) columns() [][2]string {
 //	  domainLo, domainHi float64
 //	  rowCount  int64
 //	  nSamples  uint32, samples []float64
+//	crc32 (IEEE) uint32 over everything after the version field
+//	  (version ≥ 2 only; version 1 files carry no checksum)
 
 var catalogMagic = [4]byte{'S', 'E', 'L', 'C'}
 
-const catalogVersion = 1
+const catalogVersion = 2
 
 // Save writes the whole catalog — one atomically loaded state, so the
 // file is a consistent point-in-time snapshot even while writers land.
+// The stream ends with a CRC32 footer, so Load can diagnose a partial
+// write (a crash mid-Save, a truncated copy) as ErrTornSnapshot instead
+// of silently rebuilding from half a catalog.
 func (c *Catalog) Save(w io.Writer) error {
 	st := c.state.Load()
 	bw := bufio.NewWriter(w)
@@ -251,7 +268,10 @@ func (c *Catalog) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint16(catalogVersion)); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(st.entries))); err != nil {
+	// Everything after the version flows through the checksum.
+	sum := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, sum)
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(st.entries))); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
 	// Deterministic order for reproducible files.
@@ -261,48 +281,83 @@ func (c *Catalog) Save(w io.Writer) error {
 			if len(s) > math.MaxUint16 {
 				return fmt.Errorf("catalog: string too long")
 			}
-			if err := binary.Write(bw, binary.LittleEndian, uint16(len(s))); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, uint16(len(s))); err != nil {
 				return fmt.Errorf("catalog: %w", err)
 			}
-			if _, err := bw.WriteString(s); err != nil {
+			if _, err := io.WriteString(cw, s); err != nil {
 				return fmt.Errorf("catalog: %w", err)
 			}
 		}
-		if err := bw.WriteByte(byte(e.Boundary)); err != nil {
+		if _, err := cw.Write([]byte{byte(e.Boundary)}); err != nil {
 			return fmt.Errorf("catalog: %w", err)
 		}
 		for _, v := range []any{int32(e.Bins), e.Bandwidth, e.DomainLo, e.DomainHi, e.RowCount, uint32(len(e.Samples))} {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
 				return fmt.Errorf("catalog: %w", err)
 			}
 		}
-		if err := binary.Write(bw, binary.LittleEndian, e.Samples); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, e.Samples); err != nil {
 			return fmt.Errorf("catalog: %w", err)
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sum.Sum32()); err != nil {
+		return fmt.Errorf("catalog: %w", err)
 	}
 	return bw.Flush()
 }
 
-// Load reads a catalog and rebuilds every estimator.
+// crcReader hashes every byte read through it, so Load can verify the
+// footer checksum without buffering the stream twice.
+type crcReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.sum.Write(p[:n])
+	}
+	return n, err
+}
+
+// torn wraps EOF-shaped read errors as ErrTornSnapshot: a stream that ends
+// mid-structure is the signature of a partial write, not of a different
+// format.
+func torn(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTornSnapshot, err)
+	}
+	return err
+}
+
+// Load reads a catalog and rebuilds every estimator. A stream that ends
+// mid-entry or fails its checksum returns an error wrapping
+// ErrTornSnapshot, so recovery code can tell a crash-torn file from a
+// missing or foreign one. Version-1 files (pre-checksum) still load; their
+// truncations are detected structurally only.
 func Load(r io.Reader) (*Catalog, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("catalog: read magic: %w", err)
+		return nil, fmt.Errorf("catalog: read magic: %w", torn(err))
 	}
 	if magic != catalogMagic {
 		return nil, fmt.Errorf("catalog: bad magic %q", magic)
 	}
 	var version uint16
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
+		return nil, fmt.Errorf("catalog: %w", torn(err))
 	}
-	if version != catalogVersion {
+	if version != 1 && version != catalogVersion {
 		return nil, fmt.Errorf("catalog: unsupported version %d", version)
 	}
+	// Everything after the version flows through the checksum reader; for
+	// version-1 files the sum is computed and discarded.
+	cr := &crcReader{r: br, sum: crc32.NewIEEE()}
 	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("catalog: %w", torn(err))
 	}
 	const maxEntries = 1 << 20
 	if count > maxEntries {
@@ -311,11 +366,11 @@ func Load(r io.Reader) (*Catalog, error) {
 	c := New()
 	readString := func() (string, error) {
 		var n uint16
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
 			return "", err
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(cr, buf); err != nil {
 			return "", err
 		}
 		return string(buf), nil
@@ -325,54 +380,98 @@ func Load(r io.Reader) (*Catalog, error) {
 		var err error
 		var method, rule string
 		if e.Table, err = readString(); err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
 		if e.Column, err = readString(); err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
 		if method, err = readString(); err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
 		if rule, err = readString(); err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
 		e.Method = core.Method(method)
 		e.Rule = core.BandwidthRule(rule)
-		boundary, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		var boundary [1]byte
+		if _, err := io.ReadFull(cr, boundary[:]); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
-		e.Boundary = kde.BoundaryMode(boundary)
+		e.Boundary = kde.BoundaryMode(boundary[0])
 		var bins int32
 		var nSamples uint32
 		for _, dst := range []any{&bins, &e.Bandwidth, &e.DomainLo, &e.DomainHi, &e.RowCount, &nSamples} {
-			if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-				return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			if err := binary.Read(cr, binary.LittleEndian, dst); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 			}
 		}
 		e.Bins = int(bins)
-		e.Samples, err = dataset.ReadFloats(br, uint64(nSamples))
+		e.Samples, err = dataset.ReadFloats(cr, uint64(nSamples))
 		if err != nil {
-			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, torn(err))
 		}
 		if err := c.Put(&e); err != nil {
 			return nil, err
 		}
 	}
+	if version >= 2 {
+		want := cr.sum.Sum32()
+		var got uint32
+		if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+			return nil, fmt.Errorf("catalog: read checksum: %w", torn(err))
+		}
+		if got != want {
+			return nil, fmt.Errorf("catalog: %w: checksum mismatch (file %08x, computed %08x)", ErrTornSnapshot, got, want)
+		}
+	}
 	return c, nil
 }
 
-// SaveFile writes the catalog to path.
-func (c *Catalog) SaveFile(path string) error {
-	f, err := os.Create(path)
+// AtomicWriteFile writes a file crash-safely: the content goes to a
+// temporary file in the destination directory, is fsynced, and is renamed
+// over path in one atomic step, with the directory fsynced afterwards so
+// the rename itself survives a crash. Readers therefore see either the
+// previous file whole or the new file whole — never a torn hybrid. The
+// server's snapshot persistence shares this helper.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	defer f.Close()
-	if err := c.Save(f); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err := write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("catalog: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	tmp = "" // renamed; nothing to clean up
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is best-effort: some filesystems refuse it, and
+		// the rename is already durable on the common ones.
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// SaveFile writes the catalog to path crash-safely: a kill at any point
+// leaves either the previous snapshot or the new one, never a torn file.
+func (c *Catalog) SaveFile(path string) error {
+	return AtomicWriteFile(path, c.Save)
 }
 
 // LoadFile reads a catalog from path.

@@ -1,0 +1,149 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadDetectsTruncation pins the typed partial-write diagnosis: a
+// version-2 snapshot truncated at any byte boundary must fail with
+// ErrTornSnapshot, never load half a catalog, and never panic.
+func TestLoadDetectsTruncation(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Anything shorter than the magic is torn; anything between the magic
+	// and the final byte is torn or bad-magic. Walk every prefix.
+	for n := 0; n < len(full); n++ {
+		_, err := Load(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded successfully", n, len(full))
+		}
+		if n >= len(catalogMagic) && !errors.Is(err, ErrTornSnapshot) {
+			t.Fatalf("truncation to %d/%d bytes: got %v, want ErrTornSnapshot", n, len(full), err)
+		}
+	}
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full snapshot failed to load: %v", err)
+	}
+}
+
+// TestLoadDetectsCorruption flips one byte inside an entry: the CRC32
+// footer must catch it as a torn snapshot even though the structure still
+// parses.
+func TestLoadDetectsCorruption(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip a bit in the middle of the sample payload — structurally
+	// valid, semantically corrupt.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-20] ^= 0x40
+	_, err := Load(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("bit-flipped snapshot loaded successfully")
+	}
+	if !errors.Is(err, ErrTornSnapshot) {
+		t.Fatalf("bit flip diagnosed as %v, want ErrTornSnapshot", err)
+	}
+}
+
+// TestLoadVersion1Compat keeps pre-checksum files readable: a version-1
+// stream (the version-2 body without its CRC footer) must load.
+func TestLoadVersion1Compat(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf.Bytes()...)
+	v1[4] = 1           // version field low byte: 2 → 1
+	v1 = v1[:len(v1)-4] // strip the CRC footer v1 never had
+	loaded, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 stream failed to load: %v", err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("version-1 stream loaded %d entries, want 1", loaded.Len())
+	}
+}
+
+// TestSaveFileAtomic pins the crash-safe write protocol: SaveFile leaves
+// no temporary residue, the written file round-trips, and overwriting an
+// existing snapshot replaces it whole.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stats.selc")
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // second pass overwrites
+		if err := c.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d files, want only the snapshot", len(entries))
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatal("disk round trip lost entries")
+	}
+}
+
+// TestSaveDeterministic pins that two saves of the same state are
+// byte-identical — the property the service's kill-and-restart recovery
+// check builds on.
+func TestSaveDeterministic(t *testing.T) {
+	c := New()
+	if err := c.Put(testEntryForFuzz()); err != nil {
+		t.Fatal(err)
+	}
+	e2 := testEntryForFuzz()
+	e2.Table, e2.Column = "u", "d"
+	if err := c.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := c.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same catalog differ")
+	}
+}

@@ -32,4 +32,10 @@ var (
 	onlineSnapshotSwaps   = telemetry.Default.Counter("selest_online_snapshot_swaps_total")
 	onlineRefitCoalesced  = telemetry.Default.Counter("selest_online_refit_coalesced_total")
 	onlineBuilderRung     = telemetry.Default.Gauge("selest_online_builder_rung")
+	// Promotions count rung recoveries (PromoteAfter climbs); abandoned
+	// flushes count FlushContext calls that hit their deadline while a
+	// build was still running — the shutdown path's "gave up waiting"
+	// signal.
+	onlinePromotions     = telemetry.Default.Counter("selest_online_promotions_total")
+	onlineFlushAbandoned = telemetry.Default.Counter("selest_online_flush_abandoned_total")
 )

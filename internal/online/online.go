@@ -21,14 +21,16 @@
 // retires the old snapshot once the last in-flight reader drops it,
 // which is the whole memory-reclamation story RCU schemes labour over.
 // A single-flight guard coalesces concurrent refit triggers into one
-// build (Flush still waits for and then supersedes an in-flight build),
-// and the reservoir itself stripes inserts over independently locked
-// shards so writers stop serializing on one mutex. See DESIGN.md §11.
+// build (Flush still waits for and then supersedes an in-flight build;
+// FlushContext bounds that wait with a deadline and abandons a stuck
+// build to the background), and the reservoir itself stripes inserts over
+// independently locked shards so writers stop serializing on one mutex.
+// See DESIGN.md §11.
 package online
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +84,14 @@ type Config struct {
 	// accumulated DegradeAfter consecutive failures — typically simpler,
 	// harder-to-break fits (an equi-depth histogram, pure sampling).
 	Fallbacks []Builder
+	// PromoteAfter, when positive, lets the ladder recover: after this
+	// many consecutive successful refits on a fallback rung the estimator
+	// climbs one rung back toward the primary builder and tries it at the
+	// next refit. Zero (the default) keeps the historical behaviour —
+	// degradation is one-way. DegradeAfter strikes on the promoted rung
+	// demote it again, so a still-broken primary flaps at a bounded,
+	// configurable rate rather than on every refit.
+	PromoteAfter int
 }
 
 func (c *Config) applyDefaults() {
@@ -136,17 +146,21 @@ type Estimator struct {
 	sinceRefit atomic.Int64
 	sinceCheck atomic.Int64
 
-	// refitMu is the single-flight guard: whoever holds it is the one
-	// goroutine building a replacement snapshot. Insert-path triggers
-	// TryLock and coalesce when a build is already in flight; Flush
-	// blocks until the in-flight build finishes, then builds again so
-	// its caller observes a fit of the current reservoir. The ladder
-	// state below is written only under refitMu but read via atomics so
+	// refitSlot is the single-flight guard: a 1-slot semaphore whose
+	// holder is the one goroutine building a replacement snapshot.
+	// Insert-path triggers try-acquire and coalesce when a build is
+	// already in flight; Flush blocks until the in-flight build finishes,
+	// then builds again so its caller observes a fit of the current
+	// reservoir. It is a channel rather than a mutex so FlushContext can
+	// select the acquisition against a context deadline and abandon a
+	// stuck build instead of blocking forever. The ladder state below is
+	// written only while holding the slot but read via atomics so
 	// accessors never block behind a slow build.
-	refitMu      sync.Mutex
+	refitSlot    chan struct{}
 	refits       atomic.Int64
 	failedRefits atomic.Int64
 	consecFails  atomic.Int64
+	consecOK     atomic.Int64
 	builderIdx   atomic.Int64
 	lastErr      atomic.Pointer[error]
 }
@@ -179,6 +193,7 @@ func New(build Builder, cfg Config) (*Estimator, error) {
 		builders:  builders,
 		cfg:       cfg,
 		reservoir: sample.NewSharded(cfg.Seed, cfg.ReservoirSize, cfg.Shards),
+		refitSlot: make(chan struct{}, 1),
 	}, nil
 }
 
@@ -241,31 +256,67 @@ func (e *Estimator) InsertBatch(vs []float64) error {
 // Flush waits for it to finish and then builds again, so on return the
 // snapshot reflects a reservoir state no older than the call.
 func (e *Estimator) Flush() error {
+	return e.FlushContext(context.Background())
+}
+
+// FlushContext is Flush with a deadline: the context bounds both the wait
+// for an in-flight build's single-flight slot and the refit itself. When
+// the context expires mid-build the call returns ctx's error immediately
+// and the build keeps running in the background — it publishes its
+// snapshot if it eventually succeeds — so a shutdown deadline can abandon
+// a stuck refit instead of blocking forever while still never discarding
+// a finished fit.
+func (e *Estimator) FlushContext(ctx context.Context) error {
 	if e.reservoir.Len() == 0 {
 		return fmt.Errorf("online: no records to fit")
 	}
-	e.refitMu.Lock()
-	defer e.refitMu.Unlock()
-	return e.refit()
+	select {
+	case e.refitSlot <- struct{}{}:
+	case <-ctx.Done():
+		onlineFlushAbandoned.Inc()
+		return fmt.Errorf("online: flush abandoned waiting for in-flight refit: %w", ctx.Err())
+	}
+	if ctx.Done() == nil {
+		// No deadline to race: run the build inline and skip the
+		// goroutine handoff.
+		defer func() { <-e.refitSlot }()
+		return e.refit()
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- e.refit()
+		<-e.refitSlot
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		onlineFlushAbandoned.Inc()
+		return fmt.Errorf("online: flush abandoned mid-refit (build continues in background): %w", ctx.Err())
+	}
 }
 
 // tryRefit is the insert path's single-flight entry: run the refit if no
 // build is in flight, otherwise coalesce into the one that is.
 func (e *Estimator) tryRefit() error {
-	if !e.refitMu.TryLock() {
+	select {
+	case e.refitSlot <- struct{}{}:
+	default:
 		onlineRefitCoalesced.Inc()
 		return nil
 	}
-	defer e.refitMu.Unlock()
+	defer func() { <-e.refitSlot }()
 	return e.refit()
 }
 
-// refit rebuilds the fit; the caller holds refitMu (and nothing else —
-// queries and inserts proceed throughout). On failure the previous
+// refit rebuilds the fit; the caller holds the refitSlot (and nothing
+// else — queries and inserts proceed throughout). On failure the previous
 // snapshot keeps serving: the failure is counted against the current
 // builder and, once the strike budget is spent, the estimator degrades to
 // the next fallback builder and retries it immediately so serving
-// freshness recovers without waiting out another refit cadence.
+// freshness recovers without waiting out another refit cadence. On
+// success, PromoteAfter consecutive clean refits climb one rung back
+// toward the primary builder.
 func (e *Estimator) refit() error {
 	start := time.Now()
 	// The reservoir copy is the only section that touches the ingest
@@ -274,10 +325,12 @@ func (e *Estimator) refit() error {
 	smp := e.reservoir.Snapshot()
 	onlineRefitStallNanos.ObserveSince(start)
 
+	degradedThisRefit := false
 	fit, err := e.buildSafe(smp)
 	for err != nil {
 		e.failedRefits.Add(1)
 		fails := e.consecFails.Add(1)
+		e.consecOK.Store(0)
 		e.setLastErr(err)
 		onlineRefitFails.Inc()
 		if e.cfg.DegradeAfter <= 0 || fails < int64(e.cfg.DegradeAfter) || int(e.builderIdx.Load())+1 >= len(e.builders) {
@@ -290,6 +343,7 @@ func (e *Estimator) refit() error {
 		}
 		rung := e.builderIdx.Add(1)
 		e.consecFails.Store(0)
+		degradedThisRefit = true
 		onlineDegradations.Inc()
 		onlineBuilderRung.Set(float64(rung))
 		fit, err = e.buildSafe(smp)
@@ -310,6 +364,22 @@ func (e *Estimator) refit() error {
 	onlineRefits.Inc()
 	onlineSnapshotSwaps.Inc()
 	onlineRefitNanos.ObserveSince(start)
+	// Ladder recovery: enough consecutive clean refits on a fallback rung
+	// earn one step back toward the primary builder. The rescue build
+	// that accompanied a demotion does not count — the streak starts with
+	// the first refit that began on the rung — and the climb happens
+	// after the publish, so the next refit, not this one, pays the risk
+	// of the better builder failing again.
+	if e.cfg.PromoteAfter > 0 && e.builderIdx.Load() > 0 {
+		if degradedThisRefit {
+			e.consecOK.Store(0)
+		} else if e.consecOK.Add(1) >= int64(e.cfg.PromoteAfter) {
+			rung := e.builderIdx.Add(-1)
+			e.consecOK.Store(0)
+			onlinePromotions.Inc()
+			onlineBuilderRung.Set(float64(rung))
+		}
+	}
 	return nil
 }
 
@@ -395,6 +465,15 @@ func (e *Estimator) LastError() error {
 		return *p
 	}
 	return nil
+}
+
+// ReservoirValues returns a copy of the current reservoir contents. This
+// is the serving path's cheapest data rung: when no fit has been
+// published yet (or a caller explicitly wants the raw sample), the
+// fraction of reservoir values inside a range is a consistent
+// pure-sampling estimate that needs no build at all.
+func (e *Estimator) ReservoirValues() []float64 {
+	return e.reservoir.Snapshot()
 }
 
 // ResetReservoir drops the reservoir contents — e.g. after an upstream

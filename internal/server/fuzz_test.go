@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPDecoders throws arbitrary bytes at every POST endpoint and pins
+// the decoder contract (ISSUE satellite 6): malformed JSON, NaN/Inf
+// spellings, inverted ranges, wrong types, truncations — whatever the
+// fuzzer finds — always yield a 4xx with a typed JSON error body. Never a
+// panic (a contained panic would surface as a 500, so "no 5xx" pins both
+// halves at once).
+func FuzzHTTPDecoders(f *testing.F) {
+	seeds := []string{
+		`{"tenant":"acme","attr":"price","lo":0,"hi":1}`,
+		`{"tenant":"acme","attr":"price","lo":0.9,"hi":0.1}`,
+		`{"tenant":"acme","attr":"price","lo":NaN,"hi":Infinity}`,
+		`{"tenant":"acme","attr":"price","lo":0,"hi":1e999}`,
+		`{"tenant":"acme","attr":"price","values":[1,2,3]}`,
+		`{"tenant":"acme","attr":"price","values":[]}`,
+		`{"tenant":"acme","attr":"price","queries":[{"lo":0,"hi":1}]}`,
+		`{"tenant":"a","attr":"b","config":{"domain_lo":0,"domain_hi":1}}`,
+		`{"tenant":"a","attr":"b","config":{"domain_lo":1,"domain_hi":0}}`,
+		`{"tenant":"acme","attr":"price","lo":0,"hi":1}{}`,
+		`{"tenant":"acme"`,
+		`[]`,
+		`null`,
+		`"string"`,
+		``,
+		"\x00\x01\x02",
+		`{"tenant":" ","attr":"\n","lo":-1e308,"hi":1e308}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	paths := []string{"/v1/estimate", "/v1/estimate/batch", "/v1/ingest", "/v1/attrs"}
+
+	// One long-lived server for the whole fuzz run: decoders must hold
+	// regardless of accumulated state. MaxAttrs is small so fuzzer-created
+	// attributes cannot grow without bound.
+	s := New(Config{MaxAttrs: 8, MaxBatch: 64, QueueCap: 64})
+	if err := s.CreateAttr("acme", "price", testAttrCfg()); err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, path := range paths {
+			req := httptest.NewRequest("POST", path, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code >= 500 {
+				t.Fatalf("%s: body %q produced status %d: %s", path, body, w.Code, w.Body.String())
+			}
+			if w.Code != http.StatusOK {
+				var eb errorBody
+				if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error.Code == "" {
+					t.Fatalf("%s: body %q produced untyped %d error: %s", path, body, w.Code, w.Body.String())
+				}
+			}
+		}
+	})
+}

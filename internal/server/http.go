@@ -1,0 +1,340 @@
+// HTTP/JSON transport: a mux over the service core with the robustness
+// middleware every endpoint shares — per-request panic containment,
+// deadline propagation from the X-Selest-Timeout-Ms header (defaulted
+// from Config.DefaultTimeout), per-tenant admission control, inflight and
+// latency telemetry, and a drain gate that 503s new work during graceful
+// shutdown. Every error is a typed JSON body, never a bare string and
+// never a panic escaping to the connection.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"selest/internal/faultinject"
+	"selest/internal/telemetry"
+
+	"context"
+)
+
+// maxBodyBytes bounds any request body; payloads beyond it are a typed
+// 400, not an OOM.
+const maxBodyBytes = 16 << 20
+
+// apiError is the typed error body every non-2xx response carries.
+type apiError struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// not_found, over_quota, draining, conflict, timeout, panic.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// writeError maps a service error to its HTTP status and typed body.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrBadRange), errors.Is(err, ErrBadValue):
+		status, code = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrOverQuota):
+		status, code = http.StatusTooManyRequests, "over_quota"
+	case errors.Is(err, ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrConflict):
+		status, code = http.StatusConflict, "conflict"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "timeout"
+	}
+	writeJSON(w, status, errorBody{Error: apiError{Code: code, Message: err.Error()}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Request payloads. Ranges and values are validated at decode time so a
+// malformed request is rejected before it touches any estimator state.
+
+type estimateRequest struct {
+	Tenant string  `json:"tenant"`
+	Attr   string  `json:"attr"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Fresh  bool    `json:"fresh,omitempty"`
+}
+
+type batchEstimateRequest struct {
+	Tenant  string       `json:"tenant"`
+	Attr    string       `json:"attr"`
+	Queries []RangeQuery `json:"queries"`
+	Fresh   bool         `json:"fresh,omitempty"`
+}
+
+type ingestRequest struct {
+	Tenant string    `json:"tenant"`
+	Attr   string    `json:"attr"`
+	Values []float64 `json:"values"`
+}
+
+type createAttrRequest struct {
+	Tenant string     `json:"tenant"`
+	Attr   string     `json:"attr"`
+	Config AttrConfig `json:"config"`
+}
+
+// decodeJSON decodes one JSON document from r, rejecting trailing garbage
+// and non-JSON with a typed bad-value error. JSON cannot carry NaN or
+// Inf, so any non-finite float arriving here came from a malformed body
+// the decoder already rejected — range/value semantics are checked by the
+// per-endpoint decode* wrappers below.
+func decodeJSON(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadValue, err)
+	}
+	// A second document (or trailing garbage) is malformed.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadValue)
+	}
+	return nil
+}
+
+func decodeEstimate(r io.Reader) (estimateRequest, error) {
+	var req estimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	if req.Tenant == "" || req.Attr == "" {
+		return req, fmt.Errorf("%w: tenant and attr are required", ErrBadValue)
+	}
+	if err := validRange(req.Lo, req.Hi); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+func (s *Server) decodeBatchEstimate(r io.Reader) (batchEstimateRequest, error) {
+	var req batchEstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	if req.Tenant == "" || req.Attr == "" {
+		return req, fmt.Errorf("%w: tenant and attr are required", ErrBadValue)
+	}
+	if len(req.Queries) == 0 {
+		return req, fmt.Errorf("%w: empty queries", ErrBadRange)
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return req, fmt.Errorf("%w: batch of %d exceeds limit %d", ErrBadValue, len(req.Queries), s.cfg.MaxBatch)
+	}
+	for _, q := range req.Queries {
+		if err := validRange(q.Lo, q.Hi); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+func (s *Server) decodeIngest(r io.Reader) (ingestRequest, error) {
+	var req ingestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	if req.Tenant == "" || req.Attr == "" {
+		return req, fmt.Errorf("%w: tenant and attr are required", ErrBadValue)
+	}
+	if len(req.Values) == 0 {
+		return req, fmt.Errorf("%w: empty values", ErrBadValue)
+	}
+	if len(req.Values) > s.cfg.MaxBatch {
+		return req, fmt.Errorf("%w: ingest of %d exceeds limit %d", ErrBadValue, len(req.Values), s.cfg.MaxBatch)
+	}
+	for _, v := range req.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return req, fmt.Errorf("%w: %v", ErrBadValue, v)
+		}
+	}
+	return req, nil
+}
+
+func decodeCreateAttr(r io.Reader) (createAttrRequest, error) {
+	var req createAttrRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	if req.Tenant == "" || req.Attr == "" {
+		return req, fmt.Errorf("%w: tenant and attr are required", ErrBadValue)
+	}
+	return req, nil
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/attrs          — create an attribute (idempotent)
+//	POST /v1/estimate       — one range query
+//	POST /v1/estimate/batch — many range queries, one attribute
+//	POST /v1/ingest         — enqueue stream values (backpressured)
+//	GET  /healthz           — liveness + drain state
+//	GET  /metrics           — Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/attrs", s.wrap(s.handleCreateAttr))
+	mux.HandleFunc("/v1/estimate", s.wrap(s.handleEstimate))
+	mux.HandleFunc("/v1/estimate/batch", s.wrap(s.handleEstimateBatch))
+	mux.HandleFunc("/v1/ingest", s.wrap(s.handleIngest))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.Handle("/metrics", telemetry.Handler())
+	return mux
+}
+
+// wrap is the shared robustness middleware: drain gate, deadline
+// propagation, inflight/latency accounting, retry visibility, and panic
+// containment. A handler panic — including an injected FaultHandler
+// panic — becomes a typed 500 on this request alone; the daemon keeps
+// serving every other connection.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		srvInflight.Set(float64(s.inflight.Add(1)))
+		defer func() {
+			srvInflight.Set(float64(s.inflight.Add(-1)))
+			srvLatencyNanos.ObserveSince(start)
+			if rec := recover(); rec != nil {
+				srvPanics.Inc()
+				writeError(w, fmt.Errorf("panic contained: %v", rec))
+			}
+		}()
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: apiError{
+				Code: "method_not_allowed", Message: "use POST",
+			}})
+			return
+		}
+		if s.draining.Load() {
+			writeError(w, ErrDraining)
+			return
+		}
+		if retries := r.Header.Get("X-Selest-Retry"); retries != "" && retries != "0" {
+			srvRetried.Inc()
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+
+		// Deadline propagation: the client names its budget; the server
+		// defaults one so no request can wait forever.
+		timeout := s.cfg.DefaultTimeout
+		if ms := r.Header.Get("X-Selest-Timeout-Ms"); ms != "" {
+			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+				timeout = time.Duration(v) * time.Millisecond
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		if err := faultinject.Check(FaultHandler); err != nil {
+			writeError(w, err)
+			return
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// admit charges the tenant's bucket and writes the 429 (with Retry-After)
+// itself; callers stop on false.
+func (s *Server) admit(w http.ResponseWriter, tenant string, cost int) bool {
+	retry, err := s.Admit(tenant, cost)
+	if err != nil {
+		secs := int64(retry / time.Second)
+		if retry%time.Second != 0 {
+			secs++ // ceil: retrying early would just 429 again
+		}
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreateAttr(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeCreateAttr(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, req.Tenant, 1) {
+		return
+	}
+	if err := s.CreateAttr(req.Tenant, req.Attr, req.Config); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeEstimate(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, req.Tenant, 1) {
+		return
+	}
+	res, err := s.Estimate(r.Context(), req.Tenant, req.Attr, req.Lo, req.Hi, req.Fresh)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeBatchEstimate(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, req.Tenant, len(req.Queries)) {
+		return
+	}
+	results, err := s.EstimateBatch(r.Context(), req.Tenant, req.Attr, req.Queries, req.Fresh)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeIngest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, req.Tenant, len(req.Values)) {
+		return
+	}
+	res, err := s.Ingest(req.Tenant, req.Attr, req.Values)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

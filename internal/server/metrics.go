@@ -1,0 +1,39 @@
+package server
+
+import "selest/internal/telemetry"
+
+// Service telemetry. Admission is the front door (admitted vs rejected,
+// with retried counting requests that announce themselves as client
+// retries via X-Selest-Retry); the ingest queues expose their shed count
+// and aggregate depth; the request path records one latency observation
+// and, per answer, which rung of the degradation ladder produced it.
+// Recovery counters distinguish a warm start from a cold one and surface
+// torn snapshots explicitly — availability over silence.
+var (
+	srvAdmitted  = telemetry.Default.Counter("selest_server_admitted_total")
+	srvRejected  = telemetry.Default.Counter("selest_server_rejected_total")
+	srvRetried   = telemetry.Default.Counter("selest_server_retried_total")
+	srvShed      = telemetry.Default.Counter("selest_server_shed_total")
+	srvPanics    = telemetry.Default.Counter("selest_server_panics_total")
+	srvDrainDrop = telemetry.Default.Counter("selest_server_drain_errors_total")
+
+	srvQueueDepth = telemetry.Default.Gauge("selest_server_queue_depth")
+	srvInflight   = telemetry.Default.Gauge("selest_server_inflight_requests")
+	srvAnswerRung = telemetry.Default.Gauge("selest_server_answer_rung")
+
+	srvLatencyNanos = telemetry.Default.Histogram("selest_server_request_nanos")
+
+	srvRecoveries    = telemetry.Default.Counter("selest_server_recoveries_total")
+	srvTornSnapshots = telemetry.Default.Counter("selest_server_torn_snapshots_total")
+	srvSnapshotSaves = telemetry.Default.Counter("selest_server_snapshot_saves_total")
+)
+
+// Per-rung answer counters, one labeled series per ladder rung, captured
+// once so the answer path stays allocation-free.
+var srvAnswersByRung = func() map[rung]*telemetry.Counter {
+	m := make(map[rung]*telemetry.Counter, len(rungNames))
+	for r, name := range rungNames {
+		m[r] = telemetry.Default.Counter(telemetry.Label("selest_server_answers_total", "rung", name))
+	}
+	return m
+}()

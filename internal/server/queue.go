@@ -1,0 +1,128 @@
+package server
+
+import "sync"
+
+// ingestQueue is the bounded buffer between the HTTP ingest handler and
+// an attribute's reservoir: a fixed-capacity ring of values with
+// shed-oldest overflow. The handler pushes and returns immediately —
+// ingest latency never includes a reservoir lock — and a per-attribute
+// drainer goroutine pops batches into online.Estimator.InsertBatch.
+//
+// Backpressure policy: when the producer outruns the drainer the ring
+// sheds its *oldest* values (the ones a reservoir sample is least likely
+// to miss — newer data carries the drift signal) and counts every shed in
+// telemetry, so overload degrades sample freshness visibly instead of
+// blocking the request path or growing without bound.
+type ingestQueue struct {
+	mu     sync.Mutex
+	buf    []float64
+	head   int // index of the oldest queued value
+	size   int
+	shed   int64
+	closed bool
+	// notify wakes the drainer; capacity 1 makes sends non-blocking and
+	// coalesces bursts into one wakeup.
+	notify chan struct{}
+}
+
+func newIngestQueue(capacity int) *ingestQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ingestQueue{buf: make([]float64, capacity), notify: make(chan struct{}, 1)}
+}
+
+// push enqueues vs, shedding the oldest queued values when the ring is
+// full. It reports how many of vs were queued and how many *old* values
+// were shed to make room (a burst larger than the ring also sheds the
+// burst's own oldest prefix). Pushing to a closed queue queues nothing.
+func (q *ingestQueue) push(vs []float64) (queued, shed int) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, 0
+	}
+	cap := len(q.buf)
+	if len(vs) >= cap {
+		// The burst alone overwrites the whole ring: everything resident
+		// plus the burst's own prefix is shed.
+		shed = q.size + (len(vs) - cap)
+		vs = vs[len(vs)-cap:]
+		q.head, q.size = 0, 0
+	}
+	for _, v := range vs {
+		if q.size == cap {
+			q.head = (q.head + 1) % cap
+			q.size--
+			shed++
+		}
+		q.buf[(q.head+q.size)%cap] = v
+		q.size++
+	}
+	queued = len(vs)
+	q.shed += int64(shed)
+	q.mu.Unlock()
+	if queued > 0 {
+		select {
+		case q.notify <- struct{}{}:
+		default:
+		}
+	}
+	return queued, shed
+}
+
+// popWait moves up to max values into dst (reusing its capacity),
+// blocking until values arrive or the queue is closed. It returns
+// (nil, false) only when the queue is closed *and* empty, so a drainer
+// looping on popWait drains every queued value before exiting — the
+// graceful-shutdown guarantee.
+func (q *ingestQueue) popWait(dst []float64, max int) ([]float64, bool) {
+	for {
+		q.mu.Lock()
+		if q.size > 0 {
+			n := q.size
+			if n > max {
+				n = max
+			}
+			dst = dst[:0]
+			for i := 0; i < n; i++ {
+				dst = append(dst, q.buf[q.head])
+				q.head = (q.head + 1) % len(q.buf)
+				q.size--
+			}
+			q.mu.Unlock()
+			return dst, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		q.mu.Unlock()
+		<-q.notify
+	}
+}
+
+// close marks the queue closed and wakes the drainer. Idempotent.
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// depth returns how many values are queued.
+func (q *ingestQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// shedCount returns how many values this queue has shed.
+func (q *ingestQueue) shedCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shed
+}

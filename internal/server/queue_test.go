@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func drainAll(q *ingestQueue) []float64 {
+	var out []float64
+	for {
+		vals, ok := q.popWait(nil, 1<<20)
+		if !ok {
+			return out
+		}
+		out = append(out, vals...)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newIngestQueue(8)
+	queued, shed := q.push([]float64{1, 2, 3})
+	if queued != 3 || shed != 0 {
+		t.Fatalf("push: queued %d shed %d, want 3, 0", queued, shed)
+	}
+	vals, ok := q.popWait(nil, 8)
+	if !ok {
+		t.Fatal("popWait reported closed on an open queue")
+	}
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("popWait order: %v, want [1 2 3]", vals)
+	}
+}
+
+func TestQueueShedsOldest(t *testing.T) {
+	q := newIngestQueue(4)
+	q.push([]float64{1, 2, 3, 4})
+	queued, shed := q.push([]float64{5, 6})
+	if queued != 2 || shed != 2 {
+		t.Fatalf("overflow push: queued %d shed %d, want 2, 2", queued, shed)
+	}
+	if got := q.shedCount(); got != 2 {
+		t.Fatalf("shedCount %d, want 2", got)
+	}
+	vals, _ := q.popWait(nil, 8)
+	want := []float64{3, 4, 5, 6}
+	if len(vals) != len(want) {
+		t.Fatalf("after shed: %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("after shed: %v, want %v (oldest must go first)", vals, want)
+		}
+	}
+}
+
+func TestQueueBurstLargerThanCapacity(t *testing.T) {
+	q := newIngestQueue(4)
+	q.push([]float64{0, 0})
+	queued, shed := q.push([]float64{1, 2, 3, 4, 5, 6, 7})
+	// The burst overwrites the whole ring: the 2 resident values plus the
+	// burst's own oldest 3 are shed; the newest 4 survive.
+	if queued != 4 || shed != 5 {
+		t.Fatalf("burst push: queued %d shed %d, want 4, 5", queued, shed)
+	}
+	vals, _ := q.popWait(nil, 8)
+	want := []float64{4, 5, 6, 7}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("burst: kept %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestQueueCloseDrainsEverything(t *testing.T) {
+	q := newIngestQueue(16)
+	q.push([]float64{1, 2, 3, 4, 5})
+	q.close()
+	q.close() // idempotent
+	if queued, _ := q.push([]float64{9}); queued != 0 {
+		t.Fatalf("push after close queued %d values", queued)
+	}
+	got := drainAll(q)
+	if len(got) != 5 {
+		t.Fatalf("drained %d values after close, want all 5", len(got))
+	}
+}
+
+func TestQueuePopWaitBlocksUntilPush(t *testing.T) {
+	q := newIngestQueue(4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := make(chan []float64, 1)
+	go func() {
+		defer wg.Done()
+		vals, ok := q.popWait(nil, 4)
+		if !ok {
+			t.Error("popWait returned closed")
+		}
+		got <- vals
+	}()
+	time.Sleep(10 * time.Millisecond) // let the popper block
+	q.push([]float64{42})
+	select {
+	case vals := <-got:
+		if len(vals) != 1 || vals[0] != 42 {
+			t.Fatalf("woke with %v, want [42]", vals)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("popWait never woke after push")
+	}
+	wg.Wait()
+}
+
+func TestQueueConcurrentProducersDrainExactly(t *testing.T) {
+	q := newIngestQueue(1 << 16) // never sheds at this load
+	const producers, perProducer = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.push([]float64{float64(p*perProducer + i)})
+			}
+		}(p)
+	}
+	done := make(chan []float64, 1)
+	go func() { done <- drainAll(q) }()
+	wg.Wait()
+	q.close()
+	got := <-done
+	if len(got) != producers*perProducer {
+		t.Fatalf("drained %d values, want %d (accepted values must never vanish)",
+			len(got), producers*perProducer)
+	}
+	if q.shedCount() != 0 {
+		t.Fatalf("shed %d values in an uncontended queue", q.shedCount())
+	}
+}

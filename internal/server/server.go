@@ -1,0 +1,684 @@
+// Package server is the fault-tolerant multi-tenant estimator service
+// behind cmd/selestd: the serving-path counterpart of the fit path's
+// graceful-degradation ladder (DESIGN.md §7). The engine underneath
+// answers a range query from a lock-free snapshot in nanoseconds; this
+// package adds everything a daemon needs for that answer to survive the
+// network — per-tenant token-bucket admission control (429 + Retry-After
+// on breach), bounded ingest queues that shed oldest under pressure
+// instead of blocking, per-request deadline propagation with a
+// degradation ladder (fresh → snapshot → reservoir → uniform), panic
+// containment per request, graceful shutdown that drains every accepted
+// request and flushes a crash-safe snapshot, and warm-start recovery that
+// replays the persisted catalog on boot.
+//
+// The design rule throughout: overload, crashes, and slow tenants degrade
+// estimate *quality* (a staler snapshot, a cheaper rung), never
+// *availability* — a registered attribute always produces an answer.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selest/internal/core"
+	"selest/internal/faultinject"
+	"selest/internal/kde"
+	"selest/internal/online"
+	"selest/internal/sample"
+)
+
+// Fault-injection sites: the chaos suite wedges or panics these to prove
+// the failure behaviour (see faultinject).
+const (
+	// FaultRefitPrimary fails an attribute's primary (rung-0) builder,
+	// driving the online ladder down to its fallbacks.
+	FaultRefitPrimary = "server.refit.primary"
+	// FaultHandler fires inside the request path, proving per-request
+	// panic containment keeps the daemon serving.
+	FaultHandler = "server.handler"
+)
+
+// Typed service errors; the HTTP layer maps these to status codes and
+// typed JSON error bodies.
+var (
+	ErrNotFound  = errors.New("unknown tenant or attribute")
+	ErrBadRange  = errors.New("invalid range (NaN or inverted bounds)")
+	ErrBadValue  = errors.New("non-finite value")
+	ErrOverQuota = errors.New("tenant over quota")
+	ErrDraining  = errors.New("server shutting down")
+	ErrConflict  = errors.New("attribute exists with different configuration")
+)
+
+// Config parameterises the service.
+type Config struct {
+	// QuotaRate/QuotaBurst set every tenant's token bucket: QuotaRate
+	// tokens refill per second up to QuotaBurst, and each request costs
+	// its payload size (one per estimate query, one per ingested value).
+	// QuotaRate <= 0 disables admission control.
+	QuotaRate, QuotaBurst float64
+	// QueueCap bounds each attribute's ingest queue; overflow sheds the
+	// oldest queued values. Zero defaults to 8192.
+	QueueCap int
+	// DefaultTimeout is applied to requests that carry no deadline of
+	// their own. Zero defaults to 5s.
+	DefaultTimeout time.Duration
+	// DegradeDeadline is the remaining-deadline threshold below which a
+	// fresh=true estimate skips its flush and answers from the current
+	// snapshot instead of racing the clock. Zero defaults to 25ms.
+	DegradeDeadline time.Duration
+	// MaxInflight is the overload threshold: while more requests than
+	// this are in flight, fresh=true estimates degrade to the snapshot
+	// rung. Zero defaults to 1024.
+	MaxInflight int64
+	// MaxBatch bounds queries per batch-estimate and values per ingest
+	// request. Zero defaults to 4096.
+	MaxBatch int
+	// MaxAttrs bounds the total number of attributes across tenants.
+	// Zero defaults to 4096.
+	MaxAttrs int
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueCap == 0 {
+		c.QueueCap = 8192
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.DegradeDeadline == 0 {
+		c.DegradeDeadline = 25 * time.Millisecond
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 1024
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxAttrs == 0 {
+		c.MaxAttrs = 4096
+	}
+}
+
+// AttrConfig is one attribute's estimator configuration — the unit the
+// manifest persists, so a restart rebuilds identical serving machinery.
+type AttrConfig struct {
+	// DomainLo/DomainHi bound the attribute. Required, finite, Lo < Hi;
+	// the uniform rung answers over this interval.
+	DomainLo float64 `json:"domain_lo"`
+	DomainHi float64 `json:"domain_hi"`
+	// Method/Rule/Boundary/Bins/Bandwidth mirror core.Options for the
+	// primary (rung-0) builder. Empty method defaults to kernel.
+	Method    core.Method        `json:"method,omitempty"`
+	Rule      core.BandwidthRule `json:"rule,omitempty"`
+	Boundary  kde.BoundaryMode   `json:"boundary,omitempty"`
+	Bins      int                `json:"bins,omitempty"`
+	Bandwidth float64            `json:"bandwidth,omitempty"`
+	// ReservoirSize/RefitEvery/Shards/Seed parameterise the online
+	// engine. Zeroes take the online package defaults (2000 / 10× / 1).
+	ReservoirSize int    `json:"reservoir_size,omitempty"`
+	RefitEvery    int    `json:"refit_every,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	// DegradeAfter/PromoteAfter shape the builder ladder: strikes before
+	// demotion, clean refits before promotion. Zero PromoteAfter
+	// defaults to 4 — the service wants rungs to recover.
+	DegradeAfter int `json:"degrade_after,omitempty"`
+	PromoteAfter int `json:"promote_after,omitempty"`
+}
+
+func (c *AttrConfig) validate() error {
+	if math.IsNaN(c.DomainLo) || math.IsInf(c.DomainLo, 0) ||
+		math.IsNaN(c.DomainHi) || math.IsInf(c.DomainHi, 0) {
+		return fmt.Errorf("%w: non-finite domain", ErrBadValue)
+	}
+	if !(c.DomainHi > c.DomainLo) {
+		return fmt.Errorf("%w: empty domain [%v, %v]", ErrBadRange, c.DomainLo, c.DomainHi)
+	}
+	if c.ReservoirSize < 0 || c.RefitEvery < -1 || c.Shards < 0 || c.Bins < 0 {
+		return fmt.Errorf("%w: negative size parameter", ErrBadValue)
+	}
+	if math.IsNaN(c.Bandwidth) || c.Bandwidth < 0 {
+		return fmt.Errorf("%w: bandwidth %v", ErrBadValue, c.Bandwidth)
+	}
+	opts := c.options()
+	opts.Method = c.methodOrDefault()
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *AttrConfig) methodOrDefault() core.Method {
+	if c.Method == "" {
+		return core.Kernel
+	}
+	return c.Method
+}
+
+func (c *AttrConfig) options() core.Options {
+	return core.Options{
+		Method:    c.Method,
+		DomainLo:  c.DomainLo,
+		DomainHi:  c.DomainHi,
+		Bins:      c.Bins,
+		Bandwidth: c.Bandwidth,
+		Rule:      c.Rule,
+		Boundary:  c.Boundary,
+	}
+}
+
+// rung identifies which level of the answer ladder produced an estimate.
+// Lower is better; every query is answerable at some rung.
+type rung int
+
+const (
+	// rungFresh flushed a refit before answering: the estimate reflects
+	// every drained insert.
+	rungFresh rung = iota
+	// rungSnapshot answered from the current lock-free snapshot without
+	// waiting on any in-flight refit — the steady-state rung.
+	rungSnapshot
+	// rungReservoir had no fit yet and answered with the raw reservoir
+	// fraction — a pure-sampling estimate needing no build.
+	rungReservoir
+	// rungUniform had no data at all and answered with the uniform
+	// assumption over the attribute domain.
+	rungUniform
+)
+
+var rungNames = map[rung]string{
+	rungFresh:     "fresh",
+	rungSnapshot:  "snapshot",
+	rungReservoir: "reservoir",
+	rungUniform:   "uniform",
+}
+
+// attribute is one (tenant, name) estimator: the online engine, its
+// bounded ingest queue, and the stream-cardinality counter used to scale
+// selectivities into row estimates.
+type attribute struct {
+	tenant, name string
+	cfg          AttrConfig
+	est          *online.Estimator
+	queue        *ingestQueue
+	rows         atomic.Int64
+}
+
+type tenant struct {
+	name   string
+	bucket *tokenBucket
+	mu     sync.RWMutex
+	attrs  map[string]*attribute
+}
+
+// Server is the multi-tenant estimator service. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	nAttrs  int
+
+	inflight   atomic.Int64
+	queueTotal atomic.Int64
+	draining   atomic.Bool
+	wg         sync.WaitGroup
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	return &Server{cfg: cfg, tenants: make(map[string]*tenant)}
+}
+
+// builders assembles an attribute's degradation ladder: the configured
+// primary method, then an equi-depth histogram, then pure sampling — the
+// same Kernel→EquiDepth→Sampling order the fit path's robust ladder uses,
+// each simpler and harder to break than the one above. The primary rung
+// carries the FaultRefitPrimary injection site so the chaos suite can
+// break it on demand.
+func (c *AttrConfig) builders() (primary online.Builder, fallbacks []online.Builder) {
+	opts := c.options()
+	opts.Method = c.methodOrDefault()
+	primary = func(samples []float64) (online.Fitted, error) {
+		if err := faultinject.Check(FaultRefitPrimary); err != nil {
+			return nil, err
+		}
+		return core.Build(samples, opts)
+	}
+	equiDepth := opts
+	equiDepth.Method = core.EquiDepth
+	equiDepth.Bandwidth = 0
+	fallbacks = []online.Builder{
+		func(samples []float64) (online.Fitted, error) {
+			return core.Build(samples, equiDepth)
+		},
+		func(samples []float64) (online.Fitted, error) {
+			return sample.NewPureEstimator(samples), nil
+		},
+	}
+	return primary, fallbacks
+}
+
+// CreateAttr registers an attribute under a tenant, spawning its ingest
+// drainer. Creating an attribute that already exists with an identical
+// configuration is a no-op (so clients and recovery can be idempotent);
+// a differing configuration is ErrConflict.
+func (s *Server) CreateAttr(tenantName, attrName string, cfg AttrConfig) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if tenantName == "" || attrName == "" {
+		return fmt.Errorf("%w: empty tenant or attribute name", ErrBadValue)
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.PromoteAfter == 0 {
+		cfg.PromoteAfter = 4
+	}
+	primary, fallbacks := cfg.builders()
+	est, err := online.New(primary, online.Config{
+		ReservoirSize: cfg.ReservoirSize,
+		RefitEvery:    cfg.RefitEvery,
+		Shards:        cfg.Shards,
+		Seed:          cfg.Seed,
+		DegradeAfter:  cfg.DegradeAfter,
+		PromoteAfter:  cfg.PromoteAfter,
+		Fallbacks:     fallbacks,
+	})
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tn, ok := s.tenants[tenantName]
+	if !ok {
+		tn = &tenant{
+			name:   tenantName,
+			bucket: newTokenBucket(s.cfg.QuotaRate, s.cfg.QuotaBurst),
+			attrs:  make(map[string]*attribute),
+		}
+		s.tenants[tenantName] = tn
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if existing, ok := tn.attrs[attrName]; ok {
+		if existing.cfg == cfg {
+			return nil
+		}
+		return fmt.Errorf("%w: %s/%s", ErrConflict, tenantName, attrName)
+	}
+	if s.nAttrs >= s.cfg.MaxAttrs {
+		return fmt.Errorf("%w: attribute limit %d reached", ErrOverQuota, s.cfg.MaxAttrs)
+	}
+	a := &attribute{
+		tenant: tenantName,
+		name:   attrName,
+		cfg:    cfg,
+		est:    est,
+		queue:  newIngestQueue(s.cfg.QueueCap),
+	}
+	tn.attrs[attrName] = a
+	s.nAttrs++
+	s.wg.Add(1)
+	go s.drainLoop(a)
+	return nil
+}
+
+// tenantFor returns the tenant, creating nothing.
+func (s *Server) tenantFor(name string) (*tenant, error) {
+	s.mu.RLock()
+	tn, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: tenant %q", ErrNotFound, name)
+	}
+	return tn, nil
+}
+
+func (s *Server) attr(tenantName, attrName string) (*attribute, error) {
+	tn, err := s.tenantFor(tenantName)
+	if err != nil {
+		return nil, err
+	}
+	tn.mu.RLock()
+	a, ok := tn.attrs[attrName]
+	tn.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: attribute %q/%q", ErrNotFound, tenantName, attrName)
+	}
+	return a, nil
+}
+
+// Admit charges a tenant's token bucket for a request of the given cost
+// (payload size). On refusal it returns ErrOverQuota and the Retry-After
+// duration the HTTP layer surfaces. Unknown tenants are admitted — they
+// fail with ErrNotFound downstream, which should not consume quota state.
+func (s *Server) Admit(tenantName string, cost int) (time.Duration, error) {
+	tn, err := s.tenantFor(tenantName)
+	if err != nil {
+		return 0, nil
+	}
+	ok, retry := tn.bucket.take(float64(cost), time.Now())
+	if !ok {
+		srvRejected.Inc()
+		return retry, fmt.Errorf("%w: tenant %q", ErrOverQuota, tenantName)
+	}
+	srvAdmitted.Inc()
+	return 0, nil
+}
+
+// validRange rejects NaN and inverted bounds — the request is malformed,
+// not degradable.
+func validRange(lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return fmt.Errorf("%w: NaN bound", ErrBadRange)
+	}
+	if lo > hi {
+		return fmt.Errorf("%w: lo %v > hi %v", ErrBadRange, lo, hi)
+	}
+	return nil
+}
+
+// EstimateResult is one answered range query.
+type EstimateResult struct {
+	// Selectivity is the estimated fraction of the stream in [Lo, Hi].
+	Selectivity float64 `json:"selectivity"`
+	// Rows scales the selectivity by the attribute's ingested count.
+	Rows float64 `json:"rows"`
+	// Rung names the ladder level that produced the answer
+	// (fresh | snapshot | reservoir | uniform).
+	Rung string `json:"rung"`
+	// Generation is the serving snapshot's generation (0 = no fit yet).
+	Generation uint64 `json:"generation"`
+	// Degraded reports that the answer came from a lower rung than the
+	// request asked for (e.g. fresh=true answered from the snapshot).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// overloaded reports whether the server should shed optional work.
+func (s *Server) overloaded() bool {
+	return s.inflight.Load() > s.cfg.MaxInflight
+}
+
+// tightDeadline reports whether ctx has too little budget left to spend
+// on a flush.
+func (s *Server) tightDeadline(ctx context.Context) bool {
+	dl, ok := ctx.Deadline()
+	return ok && time.Until(dl) < s.cfg.DegradeDeadline
+}
+
+// Estimate answers one range query through the degradation ladder:
+//
+//	fresh     — fresh=true and the budget allows: flush a refit (bounded
+//	            by ctx), then answer — the estimate reflects every
+//	            drained insert.
+//	snapshot  — answer from the current lock-free snapshot without
+//	            waiting on any in-flight refit. This is the steady-state
+//	            rung, and where fresh=true lands under overload, a tight
+//	            deadline, or a failed flush.
+//	reservoir — no fit published yet: answer the raw reservoir fraction.
+//	uniform   — no data at all: answer the uniform assumption over the
+//	            attribute's domain.
+//
+// Malformed ranges and unknown attributes error; nothing else does.
+func (s *Server) Estimate(ctx context.Context, tenantName, attrName string, lo, hi float64, fresh bool) (EstimateResult, error) {
+	a, err := s.attr(tenantName, attrName)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	if err := validRange(lo, hi); err != nil {
+		return EstimateResult{}, err
+	}
+	requested := rungSnapshot
+	if fresh {
+		requested = rungFresh
+	}
+	r := rungSnapshot
+	if fresh && !s.overloaded() && !s.tightDeadline(ctx) {
+		if err := a.est.FlushContext(ctx); err == nil {
+			r = rungFresh
+		}
+		// A failed or abandoned flush is not an error: the ladder serves
+		// the snapshot it has.
+	}
+	sel, ok := a.est.SelectivityOK(lo, hi)
+	if !ok {
+		if vals := a.est.ReservoirValues(); len(vals) > 0 {
+			sel = reservoirFraction(vals, lo, hi)
+			r = rungReservoir
+		} else {
+			sel = uniformFraction(a.cfg.DomainLo, a.cfg.DomainHi, lo, hi)
+			r = rungUniform
+		}
+	}
+	srvAnswersByRung[r].Inc()
+	srvAnswerRung.Set(float64(r))
+	return EstimateResult{
+		Selectivity: sel,
+		Rows:        sel * float64(a.rows.Load()),
+		Rung:        rungNames[r],
+		Generation:  a.est.Generation(),
+		Degraded:    r > requested,
+	}, nil
+}
+
+// RangeQuery is one [Lo, Hi] range.
+type RangeQuery struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// EstimateBatch answers a batch of queries against one attribute,
+// amortising admission, lookup, and (with fresh) at most one flush over
+// the whole batch. Any malformed query rejects the batch.
+func (s *Server) EstimateBatch(ctx context.Context, tenantName, attrName string, queries []RangeQuery, fresh bool) ([]EstimateResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRange)
+	}
+	for _, q := range queries {
+		if err := validRange(q.Lo, q.Hi); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]EstimateResult, len(queries))
+	for i, q := range queries {
+		res, err := s.Estimate(ctx, tenantName, attrName, q.Lo, q.Hi, fresh && i == 0)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// reservoirFraction is the pure-sampling rung: the fraction of reservoir
+// values inside [lo, hi].
+func reservoirFraction(vals []float64, lo, hi float64) float64 {
+	n := 0
+	for _, v := range vals {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vals))
+}
+
+// uniformFraction is the bottom rung: the covered fraction of the domain
+// under the uniform assumption, clipped to [0, 1].
+func uniformFraction(dLo, dHi, lo, hi float64) float64 {
+	if lo < dLo {
+		lo = dLo
+	}
+	if hi > dHi {
+		hi = dHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / (dHi - dLo)
+}
+
+// IngestResult reports what happened to an ingest payload.
+type IngestResult struct {
+	// Queued values entered the attribute's queue.
+	Queued int `json:"queued"`
+	// Shed values (the oldest queued) were dropped to make room.
+	Shed int `json:"shed"`
+}
+
+// Ingest validates and enqueues a batch of stream values. The call
+// returns as soon as the values are queued — reservoir insertion and any
+// refit happen on the attribute's drainer goroutine — so ingest latency
+// is bounded by the queue push, not by a fit. Under pressure the queue
+// sheds its oldest values and the count comes back to the client (and
+// telemetry) instead of blocking.
+func (s *Server) Ingest(tenantName, attrName string, values []float64) (IngestResult, error) {
+	if s.draining.Load() {
+		return IngestResult{}, ErrDraining
+	}
+	a, err := s.attr(tenantName, attrName)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if len(values) == 0 {
+		return IngestResult{}, fmt.Errorf("%w: empty values", ErrBadValue)
+	}
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return IngestResult{}, fmt.Errorf("%w: %v", ErrBadValue, v)
+		}
+	}
+	queued, shed := a.queue.push(values)
+	a.rows.Add(int64(queued))
+	if shed > 0 {
+		srvShed.Add(int64(shed))
+	}
+	srvQueueDepth.Set(float64(s.queueTotal.Add(int64(queued - shed))))
+	return IngestResult{Queued: queued, Shed: shed}, nil
+}
+
+// drainBatch bounds how many queued values one InsertBatch takes; small
+// enough to keep shutdown drains responsive, large enough to amortise the
+// per-batch trigger checks.
+const drainBatch = 512
+
+// drainLoop is an attribute's single consumer: it moves queued values
+// into the reservoir until the queue is closed *and* empty, so graceful
+// shutdown never strands an accepted value.
+func (s *Server) drainLoop(a *attribute) {
+	defer s.wg.Done()
+	buf := make([]float64, 0, drainBatch)
+	for {
+		vals, ok := a.queue.popWait(buf, drainBatch)
+		if !ok {
+			return
+		}
+		buf = vals
+		srvQueueDepth.Set(float64(s.queueTotal.Add(-int64(len(vals)))))
+		if err := a.est.InsertBatch(vals); err != nil {
+			// A refit failure: the values are in the reservoir and the
+			// previous fit keeps serving — count it, keep draining.
+			srvDrainDrop.Inc()
+		}
+	}
+}
+
+// attributes snapshots every attribute sorted by (tenant, name) — the
+// deterministic order persistence and shutdown iterate in.
+func (s *Server) attributes() []*attribute {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*attribute
+	for _, tn := range s.tenants {
+		tn.mu.RLock()
+		for _, a := range tn.attrs {
+			out = append(out, a)
+		}
+		tn.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].tenant != out[j].tenant {
+			return out[i].tenant < out[j].tenant
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// Draining reports whether Close has begun; the HTTP layer refuses new
+// work with 503 once it has.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close shuts the service down gracefully: stop admitting new work,
+// close every ingest queue and wait (bounded by ctx) for the drainers to
+// move every accepted value into its reservoir, flush each estimator
+// (abandoning, not awaiting, any build the deadline cuts off), and — when
+// snapshotPath is non-empty — persist a crash-safe snapshot. Close is
+// idempotent; concurrent calls after the first return immediately.
+func (s *Server) Close(ctx context.Context, snapshotPath string) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	attrs := s.attributes()
+	for _, a := range attrs {
+		a.queue.close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var firstErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		firstErr = fmt.Errorf("server: shutdown drain abandoned: %w", ctx.Err())
+	}
+	for _, a := range attrs {
+		if len(a.est.ReservoirValues()) == 0 {
+			continue
+		}
+		if err := a.est.FlushContext(ctx); err != nil && firstErr == nil && ctx.Err() != nil {
+			firstErr = fmt.Errorf("server: shutdown flush %s/%s: %w", a.tenant, a.name, err)
+		}
+	}
+	if snapshotPath != "" {
+		if err := s.SaveSnapshot(snapshotPath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats is the health-endpoint summary.
+type Stats struct {
+	Tenants    int   `json:"tenants"`
+	Attributes int   `json:"attributes"`
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	Draining   bool  `json:"draining"`
+}
+
+// Stats summarises the service for /healthz.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	tenants, nAttrs := len(s.tenants), s.nAttrs
+	s.mu.RUnlock()
+	return Stats{
+		Tenants:    tenants,
+		Attributes: nAttrs,
+		QueueDepth: s.queueTotal.Load(),
+		Inflight:   s.inflight.Load(),
+		Draining:   s.draining.Load(),
+	}
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic leaky token bucket: Rate tokens refill per
+// second up to Burst, and a request costing n tokens is admitted only
+// when n are available. It is the per-tenant admission-control primitive:
+// cheap (one mutex, no goroutines, lazy refill on the clock of the
+// caller), and it answers the question a 429 needs answered — how long
+// until this request would fit — so Retry-After is exact rather than a
+// guess.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a bucket starting full. rate <= 0 disables
+// limiting; burst < 1 is clamped to 1 so a full bucket always admits at
+// least one unit-cost request.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take attempts to spend cost tokens at time now. On refusal it reports
+// how long the caller must wait before the same request would be
+// admitted. A cost above the burst can never be admitted whole; it is
+// charged as a full burst so oversized requests still drain the tenant's
+// budget instead of bypassing it.
+func (b *tokenBucket) take(cost float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > b.burst {
+		cost = b.burst
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	deficit := cost - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}

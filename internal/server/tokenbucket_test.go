@@ -1,0 +1,70 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketStartsFull(t *testing.T) {
+	b := newTokenBucket(1, 5)
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.take(1, now); !ok {
+			t.Fatalf("take %d refused on a full bucket of burst 5", i+1)
+		}
+	}
+	ok, retry := b.take(1, now)
+	if ok {
+		t.Fatal("6th take admitted past the burst")
+	}
+	if retry != time.Second {
+		t.Fatalf("Retry-After %v, want exactly 1s (deficit 1 token at 1/s)", retry)
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	b := newTokenBucket(10, 2)
+	now := time.Unix(0, 0)
+	b.take(2, now) // empty it
+	if ok, _ := b.take(1, now); ok {
+		t.Fatal("admitted from an empty bucket with no time passed")
+	}
+	if ok, _ := b.take(1, now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("100ms at 10 tokens/s refills 1 token; take refused")
+	}
+	// Refill caps at burst: a long idle period does not bank extra tokens.
+	later := now.Add(time.Hour)
+	b.take(2, later)
+	if ok, _ := b.take(1, later); ok {
+		t.Fatal("bucket banked more than burst over an idle hour")
+	}
+}
+
+func TestTokenBucketUnlimitedWhenRateZero(t *testing.T) {
+	b := newTokenBucket(0, 1)
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(100, now); !ok {
+			t.Fatal("rate<=0 must disable limiting")
+		}
+	}
+}
+
+func TestTokenBucketClampsCost(t *testing.T) {
+	b := newTokenBucket(1, 4)
+	now := time.Unix(0, 0)
+	// A cost above the burst is charged as a full burst: admitted once
+	// from a full bucket, then the tenant is drained.
+	if ok, _ := b.take(1000, now); !ok {
+		t.Fatal("oversized request refused on a full bucket")
+	}
+	if ok, _ := b.take(1, now); ok {
+		t.Fatal("oversized request did not drain the bucket")
+	}
+	// Cost below 1 still charges one token.
+	b2 := newTokenBucket(1, 1)
+	b2.take(0, now)
+	if ok, _ := b2.take(1, now); ok {
+		t.Fatal("zero-cost take charged nothing")
+	}
+}

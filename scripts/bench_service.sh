@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_service.sh — end-to-end service benchmark: build selestd and
+# selestload, boot the daemon on an ephemeral port with a snapshot file,
+# drive mixed read/ingest load, and write the latency/throughput records
+# (p50/p99/p999, retry/shed/failure counts) to BENCH_service.json. The
+# daemon is shut down with SIGTERM at the end, so the run also exercises
+# the graceful drain + final-snapshot path.
+#
+# Knobs (env): DURATION (default 10s), WORKERS (32), READ_FRAC (0.8),
+# SEED_VALUES (4096), OUT (BENCH_service.json). `make bench-service-quick`
+# sets a short duration and discards the output — smoke, not evidence.
+set -e
+
+GO=${GO:-go}
+DURATION=${DURATION:-10s}
+WORKERS=${WORKERS:-32}
+READ_FRAC=${READ_FRAC:-0.8}
+SEED_VALUES=${SEED_VALUES:-4096}
+OUT=${OUT:-BENCH_service.json}
+
+TMP=$(mktemp -d)
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$TMP/selestd" ./cmd/selestd
+$GO build -o "$TMP/selestload" ./cmd/selestload
+
+"$TMP/selestd" -addr 127.0.0.1:0 -snapshot "$TMP/snap.selest" \
+    > "$TMP/selestd.log" 2>&1 &
+DPID=$!
+
+# The daemon prints its bound address once the listener is up.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^selestd listening on //p' "$TMP/selestd.log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$DPID" 2>/dev/null; then
+        echo "selestd died during startup:" >&2
+        cat "$TMP/selestd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "selestd never reported a listen address" >&2
+    cat "$TMP/selestd.log" >&2
+    exit 1
+fi
+
+"$TMP/selestload" -addr "$ADDR" -duration "$DURATION" -workers "$WORKERS" \
+    -read-frac "$READ_FRAC" -seed-values "$SEED_VALUES" -out "$OUT"
+
+# Graceful shutdown: drain, flush, final snapshot. A non-zero exit or a
+# missing snapshot fails the bench.
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=""
+[ -s "$TMP/snap.selest" ] || { echo "no shutdown snapshot written" >&2; exit 1; }

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-experiments race-fit fuzz fuzz-query fuzz-server bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-experiments race-fit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ race-serve:
 race-service:
 	$(GO) test -race ./internal/server/
 
+# The wire-transport suites under the race detector: the binary listener
+# through the refit-panic soak, shutdown-conservation, slow-tenant
+# isolation, panic containment, and protocol garbage — plus the client
+# package's pipelining/redial/health-check concurrency.
+race-wire:
+	$(GO) test -race -run 'TestWireChaos|TestWire' ./internal/server/
+	$(GO) test -race ./client/
+
 # The parallel experiment harness under the race detector: bounded worker
 # pool, once-per-key Env cache, and the parallel-equals-sequential report
 # property.
@@ -60,6 +68,12 @@ fuzz-query:
 # panic.
 fuzz-server:
 	$(GO) test -run '^$$' -fuzz FuzzHTTPDecoders -fuzztime 30s ./internal/server/
+
+# Short fuzz pass over the selestwire codec: arbitrary bytes through
+# ReadFrame never panic or over-allocate, and every frame that round-trips
+# through AppendFrame decodes back bit-identically.
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzWireCodec -fuzztime 30s ./internal/wire/
 
 # staticcheck is optional tooling: run it when installed, skip quietly
 # when not, so ci works on a bare Go toolchain.
@@ -174,4 +188,4 @@ race-fit:
 	$(GO) test -race -run 'Workers|FitContext|DensityGrid|MatchesSeed' \
 		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/
 
-ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve race-service bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve bench-service-quick
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve race-service race-wire bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve bench-service-quick

@@ -1,0 +1,264 @@
+// Package client is the native Go client for the selest estimator
+// service. One typed API rides two transports — the selestwire binary
+// protocol (pipelined persistent TCP, the default) and HTTP/JSON — with
+// identical semantics: the same request options, the same typed errors
+// (errors.Is against the re-exported sentinels works on either), and the
+// same deadline budget announced to the server so its degradation ladder
+// sees what the client will actually wait for.
+//
+// Every call runs a bounded retry loop with full-jitter exponential
+// backoff. Server throttle hints (Retry-After / RetryAfterMs) stretch
+// the backoff; non-retryable failures (bad request, not found, conflict)
+// return immediately.
+//
+//	c, err := client.New(client.Options{Addr: "127.0.0.1:7654"})
+//	...
+//	res, err := c.Estimate(ctx, "tenant", "latency", 0.1, 0.9,
+//	    client.WithTimeout(50*time.Millisecond))
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"selest/internal/wire"
+)
+
+// transport is the seam between the typed API and a wire format. Both
+// implementations speak in the client's public types; meta carries the
+// per-attempt deadline and retry number to the server.
+type transport interface {
+	estimate(ctx context.Context, meta wire.Meta, tenant, attr string, lo, hi float64, fresh bool) (Result, error)
+	estimateBatch(ctx context.Context, meta wire.Meta, tenant, attr string, queries []Range, fresh bool) ([]Result, error)
+	ingest(ctx context.Context, meta wire.Meta, tenant, attr string, values []float64) (IngestResult, error)
+	createAttr(ctx context.Context, meta wire.Meta, tenant, attr string, cfgJSON []byte) error
+	ping(ctx context.Context, meta wire.Meta) error
+	close() error
+}
+
+// Client is a selest service client. It is safe for concurrent use; one
+// Client per target service is the intended shape (the wire transport
+// multiplexes all goroutines over its connection pool).
+type Client struct {
+	opts Options
+	t    transport
+
+	requests atomic.Uint64
+	retries  atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of client-side counters.
+type Stats struct {
+	// Requests counts API calls (not attempts).
+	Requests uint64 `json:"requests"`
+	// Retries counts re-attempts after a retryable failure.
+	Retries uint64 `json:"retries"`
+	// Dials counts connections established (wire transport only).
+	Dials uint64 `json:"dials"`
+}
+
+// New validates opts and builds a client. No connection is made until
+// the first call (the wire pool dials lazily), so New succeeds even if
+// the server is not up yet.
+func New(opts Options) (*Client, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	c := &Client{opts: opts}
+	switch opts.Protocol {
+	case ProtoWire:
+		c.t = newWireTransport(opts)
+	case ProtoJSON:
+		c.t = newJSONTransport(opts)
+	}
+	return c, nil
+}
+
+// Close releases the client's connections. In-flight calls fail.
+func (c *Client) Close() error { return c.t.close() }
+
+// Stats reports the client's counters.
+func (c *Client) Stats() Stats {
+	s := Stats{Requests: c.requests.Load(), Retries: c.retries.Load()}
+	if wt, ok := c.t.(*wireTransport); ok {
+		s.Dials = wt.dials.Load()
+	}
+	return s
+}
+
+// Estimate answers one range query [lo, hi] on tenant's attr.
+func (c *Client) Estimate(ctx context.Context, tenant, attr string, lo, hi float64, opts ...CallOption) (Result, error) {
+	co := c.callOpts(opts)
+	var out Result
+	err := c.do(ctx, co, func(ctx context.Context, meta wire.Meta) error {
+		res, err := c.t.estimate(ctx, meta, tenant, attr, lo, hi, co.fresh)
+		if err == nil {
+			out = res
+		}
+		return err
+	})
+	return out, err
+}
+
+// EstimateBatch answers many queries against one attribute in a single
+// round trip.
+func (c *Client) EstimateBatch(ctx context.Context, tenant, attr string, queries []Range, opts ...CallOption) ([]Result, error) {
+	co := c.callOpts(opts)
+	var out []Result
+	err := c.do(ctx, co, func(ctx context.Context, meta wire.Meta) error {
+		res, err := c.t.estimateBatch(ctx, meta, tenant, attr, queries, co.fresh)
+		if err == nil {
+			out = res
+		}
+		return err
+	})
+	return out, err
+}
+
+// Ingest enqueues stream values on tenant's attr. The result reports
+// how many were queued and how many the server shed under pressure.
+// Note an ingest retry after an ambiguous transport failure can deliver
+// values twice; the estimator tolerates duplicates statistically, but
+// exactly-once is not promised.
+func (c *Client) Ingest(ctx context.Context, tenant, attr string, values []float64, opts ...CallOption) (IngestResult, error) {
+	co := c.callOpts(opts)
+	var out IngestResult
+	err := c.do(ctx, co, func(ctx context.Context, meta wire.Meta) error {
+		res, err := c.t.ingest(ctx, meta, tenant, attr, values)
+		if err == nil {
+			out = res
+		}
+		return err
+	})
+	return out, err
+}
+
+// CreateAttr registers an attribute (idempotent: re-creating with the
+// same configuration succeeds; a different configuration is
+// ErrConflict).
+func (c *Client) CreateAttr(ctx context.Context, tenant, attr string, cfg AttrConfig, opts ...CallOption) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("client: encode attr config: %w", err)
+	}
+	co := c.callOpts(opts)
+	return c.do(ctx, co, func(ctx context.Context, meta wire.Meta) error {
+		return c.t.createAttr(ctx, meta, tenant, attr, cfgJSON)
+	})
+}
+
+// Ping round-trips the transport (wire: an OpPing frame; JSON: the
+// health endpoint). A nil return means the server answered.
+func (c *Client) Ping(ctx context.Context, opts ...CallOption) error {
+	co := c.callOpts(opts)
+	return c.do(ctx, co, func(ctx context.Context, meta wire.Meta) error {
+		return c.t.ping(ctx, meta)
+	})
+}
+
+func (c *Client) callOpts(opts []CallOption) callOptions {
+	co := callOptions{maxRetries: -1}
+	for _, o := range opts {
+		o(&co)
+	}
+	return co
+}
+
+// do is the shared retry loop: per-attempt deadline, typed-error
+// classification, full-jitter backoff stretched by server throttle
+// hints, all bounded by the caller's context.
+func (c *Client) do(ctx context.Context, co callOptions, attempt func(ctx context.Context, meta wire.Meta) error) error {
+	c.requests.Add(1)
+	budget := co.timeout
+	if budget <= 0 {
+		budget = c.opts.RequestTimeout
+	}
+	maxRetries := co.maxRetries
+	if maxRetries < 0 {
+		maxRetries = c.opts.MaxRetries
+	}
+	meta := wire.Meta{TimeoutMs: uint32(budget / time.Millisecond)}
+	for n := 0; ; n++ {
+		if n > 0 {
+			c.retries.Add(1)
+			if n > 255 {
+				meta.Retry = 255
+			} else {
+				meta.Retry = uint8(n)
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, budget)
+		err := attempt(actx, meta)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if n >= maxRetries || !retryable(err) {
+			return err
+		}
+		// The parent context ending is final even when the attempt error
+		// itself looks retryable.
+		if ctx.Err() != nil {
+			return err
+		}
+		if serr := c.sleepBackoff(ctx, n, err); serr != nil {
+			return err
+		}
+	}
+}
+
+// retryable classifies one attempt's failure. Server-reported errors
+// retry only when the server might answer differently next time
+// (throttled, draining, timed out, internal); caller mistakes never do.
+// Anything else is a transport-level failure — the connection is torn
+// down, so a retry dials fresh.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case CodeOverQuota, CodeDraining, CodeTimeout, CodeInternal:
+			return true
+		}
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// sleepBackoff waits the full-jitter exponential delay for retry n:
+// U(0, base·2ⁿ) capped at RetryMaxDelay, raised to the server's
+// throttle hint when one came back (retrying before the hint would just
+// be refused again).
+func (c *Client) sleepBackoff(ctx context.Context, n int, err error) error {
+	ceil := c.opts.RetryBaseDelay << uint(n)
+	if ceil > c.opts.RetryMaxDelay || ceil <= 0 {
+		ceil = c.opts.RetryMaxDelay
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		hint := ae.RetryAfter
+		if hint > c.opts.RetryMaxDelay {
+			hint = c.opts.RetryMaxDelay
+		}
+		if hint > d {
+			d = hint
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,172 @@
+// The HTTP/JSON transport: the same typed API over the daemon's HTTP
+// listener. Request bodies and error envelopes are exactly the server's
+// JSON shapes; the per-attempt deadline and retry number travel as the
+// X-Selest-Timeout-Ms / X-Selest-Retry headers (the untyped form of
+// wire.Meta), so the server cannot tell the transports' intents apart.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"selest/internal/errcode"
+	"selest/internal/wire"
+)
+
+type jsonTransport struct {
+	base string
+	hc   *http.Client
+}
+
+func newJSONTransport(opts Options) *jsonTransport {
+	return &jsonTransport{
+		base: "http://" + opts.Addr,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Conns,
+				MaxIdleConnsPerHost: opts.Conns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+func (t *jsonTransport) close() error {
+	t.hc.CloseIdleConnections()
+	return nil
+}
+
+// do posts one JSON body and decodes the response into out (when
+// non-nil). Non-2xx responses decode the shared error envelope into an
+// *APIError carrying the Retry-After hint.
+func (t *jsonTransport) do(ctx context.Context, meta wire.Meta, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if meta.TimeoutMs > 0 {
+		req.Header.Set(wire.HeaderTimeoutMs, strconv.FormatUint(uint64(meta.TimeoutMs), 10))
+	}
+	if meta.Retry > 0 {
+		req.Header.Set(wire.HeaderRetry, strconv.Itoa(int(meta.Retry)))
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorFromResponse(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// apiErrorFromResponse rebuilds the typed error from the JSON envelope.
+// A body that is not the envelope (a proxy's error page, say) degrades
+// to the catch-all code derived from the status line.
+func apiErrorFromResponse(resp *http.Response) error {
+	ae := &APIError{Code: errcode.CodeInternal}
+	var body errcode.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error.Code != "" {
+		ae.Code, _ = errcode.Parse(body.Error.Code)
+		ae.Message = body.Error.Message
+	} else {
+		ae.Message = fmt.Sprintf("http status %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+func (t *jsonTransport) estimate(ctx context.Context, meta wire.Meta, tenant, attr string, lo, hi float64, fresh bool) (Result, error) {
+	body := struct {
+		Tenant string  `json:"tenant"`
+		Attr   string  `json:"attr"`
+		Lo     float64 `json:"lo"`
+		Hi     float64 `json:"hi"`
+		Fresh  bool    `json:"fresh,omitempty"`
+	}{tenant, attr, lo, hi, fresh}
+	var out Result
+	err := t.do(ctx, meta, "/v1/estimate", body, &out)
+	return out, err
+}
+
+func (t *jsonTransport) estimateBatch(ctx context.Context, meta wire.Meta, tenant, attr string, queries []Range, fresh bool) ([]Result, error) {
+	body := struct {
+		Tenant  string  `json:"tenant"`
+		Attr    string  `json:"attr"`
+		Queries []Range `json:"queries"`
+		Fresh   bool    `json:"fresh,omitempty"`
+	}{tenant, attr, queries, fresh}
+	var out struct {
+		Results []Result `json:"results"`
+	}
+	if err := t.do(ctx, meta, "/v1/estimate/batch", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func (t *jsonTransport) ingest(ctx context.Context, meta wire.Meta, tenant, attr string, values []float64) (IngestResult, error) {
+	body := struct {
+		Tenant string    `json:"tenant"`
+		Attr   string    `json:"attr"`
+		Values []float64 `json:"values"`
+	}{tenant, attr, values}
+	var out IngestResult
+	err := t.do(ctx, meta, "/v1/ingest", body, &out)
+	return out, err
+}
+
+func (t *jsonTransport) createAttr(ctx context.Context, meta wire.Meta, tenant, attr string, cfgJSON []byte) error {
+	body := struct {
+		Tenant string          `json:"tenant"`
+		Attr   string          `json:"attr"`
+		Config json.RawMessage `json:"config"`
+	}{tenant, attr, json.RawMessage(cfgJSON)}
+	return t.do(ctx, meta, "/v1/attrs", body, nil)
+}
+
+// ping uses the health endpoint — the closest JSON analogue to an
+// OpPing frame. It is a GET, so it bypasses do.
+func (t *jsonTransport) ping(ctx context.Context, meta wire.Meta) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorFromResponse(resp)
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// The selestwire transport: a pool of persistent TCP connections, each
+// pipelining many in-flight requests matched to responses by request id.
+// Connections dial lazily, die loudly (a read error fails every pending
+// call on that connection so the retry loop redials fresh), and a
+// background health checker pings idle connections so a silently dead
+// socket is discovered before a caller inherits it.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selest/internal/wire"
+)
+
+type wireTransport struct {
+	opts  Options
+	slots []wireSlot
+	next  atomic.Uint64
+	dials atomic.Uint64
+
+	closed atomic.Bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// wireSlot is one pool position: a lazily-dialed connection plus the
+// mutex that serialises redials (so a thundering herd after a failure
+// makes one dial, not Conns×callers).
+type wireSlot struct {
+	mu   sync.Mutex
+	conn atomic.Pointer[wireConn]
+}
+
+func newWireTransport(opts Options) *wireTransport {
+	t := &wireTransport{
+		opts:  opts,
+		slots: make([]wireSlot, opts.Conns),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if opts.HealthCheckEvery > 0 {
+		go t.healthLoop()
+	} else {
+		close(t.done)
+	}
+	return t
+}
+
+func (t *wireTransport) close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stop)
+	<-t.done
+	for i := range t.slots {
+		if wc := t.slots[i].conn.Load(); wc != nil {
+			wc.fail(errClosed)
+		}
+	}
+	return nil
+}
+
+var errClosed = fmt.Errorf("client: closed")
+
+// conn returns a live connection from the pool, dialing the slot if its
+// connection is nil or dead.
+func (t *wireTransport) conn(ctx context.Context) (*wireConn, error) {
+	if t.closed.Load() {
+		return nil, errClosed
+	}
+	s := &t.slots[t.next.Add(1)%uint64(len(t.slots))]
+	if wc := s.conn.Load(); wc != nil && !wc.dead.Load() {
+		return wc, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wc := s.conn.Load(); wc != nil && !wc.dead.Load() {
+		return wc, nil
+	}
+	if t.closed.Load() {
+		return nil, errClosed
+	}
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", t.opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", t.opts.Addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	t.dials.Add(1)
+	wc := &wireConn{
+		c:          nc,
+		bw:         bufio.NewWriterSize(nc, 64<<10),
+		pending:    map[uint64]chan wire.Frame{},
+		maxPayload: uint32(t.opts.MaxPayload),
+	}
+	wc.touch()
+	go wc.readLoop()
+	s.conn.Store(wc)
+	return wc, nil
+}
+
+// healthLoop pings connections that have sat idle for a full interval;
+// a failed ping tears the connection down so the next call redials
+// instead of timing out on a dead socket.
+func (t *wireTransport) healthLoop() {
+	defer close(t.done)
+	tick := time.NewTicker(t.opts.HealthCheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		idleBefore := time.Now().Add(-t.opts.HealthCheckEvery).UnixNano()
+		for i := range t.slots {
+			wc := t.slots[i].conn.Load()
+			if wc == nil || wc.dead.Load() || wc.lastUsed.Load() > idleBefore {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), t.opts.DialTimeout)
+			_, _, err := wc.roundTrip(ctx, wire.OpPing, wire.PingReq{}.Append(nil))
+			cancel()
+			if err != nil {
+				wc.fail(fmt.Errorf("client: health check: %w", err))
+			}
+		}
+	}
+}
+
+// roundTrip sends one request on any pooled connection and returns the
+// response payload, converting error frames to *APIError.
+func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+	wc, err := t.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rop, rp, err := wc.roundTrip(ctx, op, payload)
+	if err != nil {
+		return nil, err
+	}
+	switch rop {
+	case op | wire.RespFlag:
+		return rp, nil
+	case wire.OpError:
+		er, derr := wire.DecodeErrorRes(rp)
+		if derr != nil {
+			wc.fail(derr)
+			return nil, derr
+		}
+		return nil, &APIError{
+			Code:       Code(er.Code),
+			Message:    er.Message,
+			RetryAfter: time.Duration(er.RetryAfterMs) * time.Millisecond,
+		}
+	default:
+		err := fmt.Errorf("%w: response op %s to request %s", wire.ErrProtocol, rop, op)
+		wc.fail(err)
+		return nil, err
+	}
+}
+
+func (t *wireTransport) estimate(ctx context.Context, meta wire.Meta, tenant, attr string, lo, hi float64, fresh bool) (Result, error) {
+	req := wire.EstimateReq{Meta: meta, Tenant: tenant, Attr: attr, Lo: lo, Hi: hi, Fresh: fresh}
+	rp, err := t.roundTrip(ctx, wire.OpEstimate, req.Append(nil))
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := wire.DecodeEstimateRes(rp)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromWire(res), nil
+}
+
+func (t *wireTransport) estimateBatch(ctx context.Context, meta wire.Meta, tenant, attr string, queries []Range, fresh bool) ([]Result, error) {
+	req := wire.EstimateBatchReq{Meta: meta, Tenant: tenant, Attr: attr, Fresh: fresh, Queries: make([]wire.Range, len(queries))}
+	for i, q := range queries {
+		req.Queries[i] = wire.Range{Lo: q.Lo, Hi: q.Hi}
+	}
+	rp, err := t.roundTrip(ctx, wire.OpEstimateBatch, req.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	res, err := wire.DecodeEstimateBatchRes(rp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res.Results))
+	for i, r := range res.Results {
+		out[i] = resultFromWire(r)
+	}
+	return out, nil
+}
+
+func (t *wireTransport) ingest(ctx context.Context, meta wire.Meta, tenant, attr string, values []float64) (IngestResult, error) {
+	req := wire.IngestReq{Meta: meta, Tenant: tenant, Attr: attr, Values: values}
+	rp, err := t.roundTrip(ctx, wire.OpIngest, req.Append(nil))
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res, err := wire.DecodeIngestRes(rp)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return IngestResult{Queued: int(res.Queued), Shed: int(res.Shed)}, nil
+}
+
+func (t *wireTransport) createAttr(ctx context.Context, meta wire.Meta, tenant, attr string, cfgJSON []byte) error {
+	req := wire.CreateAttrReq{Meta: meta, Tenant: tenant, Attr: attr, Config: cfgJSON}
+	_, err := t.roundTrip(ctx, wire.OpCreateAttr, req.Append(nil))
+	return err
+}
+
+func (t *wireTransport) ping(ctx context.Context, meta wire.Meta) error {
+	_, err := t.roundTrip(ctx, wire.OpPing, wire.PingReq{Meta: meta}.Append(nil))
+	return err
+}
+
+func resultFromWire(r wire.EstimateRes) Result {
+	return Result{
+		Selectivity: r.Selectivity,
+		Rows:        r.Rows,
+		Rung:        r.Rung,
+		Generation:  r.Generation,
+		Degraded:    r.Degraded,
+	}
+}
+
+// wireConn is one pipelined connection: callers register a response
+// channel under a fresh request id, write their frame (serialised by
+// wmu), and wait; the reader goroutine routes response frames to their
+// channels by id. Any read or write error fails the whole connection —
+// pending channels close, the pool redials on next use.
+type wireConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serialises write+flush
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	isDead  bool
+	err     error
+
+	nextID     atomic.Uint64
+	dead       atomic.Bool
+	lastUsed   atomic.Int64
+	maxPayload uint32
+}
+
+func (wc *wireConn) touch() { wc.lastUsed.Store(time.Now().UnixNano()) }
+
+// fail marks the connection dead, closes the socket, and closes every
+// pending response channel (waiters see a conn-broken error).
+func (wc *wireConn) fail(err error) {
+	wc.mu.Lock()
+	if wc.isDead {
+		wc.mu.Unlock()
+		return
+	}
+	wc.isDead = true
+	wc.err = err
+	wc.dead.Store(true)
+	pending := wc.pending
+	wc.pending = nil
+	wc.mu.Unlock()
+	_ = wc.c.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// readLoop routes response frames to their waiters until the stream
+// errors (peer hang-up, corruption, or our own Close).
+func (wc *wireConn) readLoop() {
+	br := bufio.NewReaderSize(wc.c, 64<<10)
+	var buf []byte
+	for {
+		fr, b, err := wire.ReadFrame(br, wc.maxPayload, buf)
+		if err != nil {
+			wc.fail(fmt.Errorf("client: connection read: %w", err))
+			return
+		}
+		buf = b
+		wc.mu.Lock()
+		ch, ok := wc.pending[fr.ID]
+		if ok {
+			delete(wc.pending, fr.ID)
+		}
+		wc.mu.Unlock()
+		if ok {
+			// The payload aliases the read buffer; copy before handing it
+			// across the channel.
+			fr.Payload = append([]byte(nil), fr.Payload...)
+			ch <- fr
+		}
+		// An unmatched id is a response whose waiter gave up (context
+		// cancel); drop it.
+	}
+}
+
+func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (wire.Op, []byte, error) {
+	wc.touch()
+	id := wc.nextID.Add(1)
+	ch := make(chan wire.Frame, 1)
+	wc.mu.Lock()
+	if wc.isDead {
+		err := wc.err
+		wc.mu.Unlock()
+		return 0, nil, err
+	}
+	wc.pending[id] = ch
+	wc.mu.Unlock()
+
+	wc.wmu.Lock()
+	err := wire.WriteFrame(wc.bw, wire.Frame{Op: op, ID: id, Payload: payload})
+	if err == nil {
+		err = wc.bw.Flush()
+	}
+	wc.wmu.Unlock()
+	if err != nil {
+		wc.forget(id)
+		wc.fail(fmt.Errorf("client: connection write: %w", err))
+		return 0, nil, err
+	}
+
+	select {
+	case fr, ok := <-ch:
+		if !ok {
+			wc.mu.Lock()
+			err := wc.err
+			wc.mu.Unlock()
+			return 0, nil, err
+		}
+		wc.touch()
+		return fr.Op, fr.Payload, nil
+	case <-ctx.Done():
+		wc.forget(id)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending request (its response, if it ever arrives,
+// is dropped by readLoop).
+func (wc *wireConn) forget(id uint64) {
+	wc.mu.Lock()
+	if wc.pending != nil {
+		delete(wc.pending, id)
+	}
+	wc.mu.Unlock()
+}

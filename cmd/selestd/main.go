@@ -1,20 +1,25 @@
 // Command selestd is the fault-tolerant multi-tenant estimator daemon: an
-// HTTP/JSON front over the lock-free serving engine, with per-tenant
-// admission control, backpressured ingest, a per-request degradation
-// ladder, and crash-safe snapshot persistence (see internal/server and
-// DESIGN.md §12).
+// HTTP/JSON front and a selestwire binary-protocol front over the
+// lock-free serving engine, with per-tenant admission control,
+// backpressured ingest, a per-request degradation ladder, and crash-safe
+// snapshot persistence (see internal/server, DESIGN.md §12–§13). Both
+// listeners share one Server core, so a tenant's quota, an attribute's
+// queue, and the drain gate are identical whichever protocol a request
+// arrives on.
 //
 // Lifecycle: on boot the daemon warm-starts from -snapshot when the file
 // exists (a torn snapshot is logged and served cold unless
-// -require-snapshot makes it fatal), then listens on -addr and prints the
-// bound address — pass :0 to let the kernel pick a port. While serving it
+// -require-snapshot makes it fatal), then listens on -addr (HTTP) and,
+// when -wire-addr is set, on the binary listener, printing each bound
+// address — pass :0 to let the kernel pick ports. While serving it
 // persists a crash-safe snapshot every -snapshot-every. On SIGINT/SIGTERM
 // it shuts down gracefully: stop accepting work, drain every accepted
 // request and queued value (bounded by -drain-timeout), flush refits, and
 // write a final snapshot — so the next boot recovers exactly what the
 // last one accepted.
 //
-// Endpoints (all request/response bodies JSON; errors are typed bodies):
+// HTTP endpoints (all request/response bodies JSON; errors are typed
+// bodies):
 //
 //	POST /v1/attrs          — create an attribute (idempotent)
 //	POST /v1/estimate       — one range query
@@ -23,9 +28,13 @@
 //	GET  /healthz           — liveness + drain state
 //	GET  /metrics           — Prometheus text exposition
 //
+// The wire listener speaks the same five operations as selestwire frames
+// (see internal/wire and the selest/client package).
+//
 // Example:
 //
-//	selestd -addr 127.0.0.1:8765 -snapshot /var/lib/selest/snap.selest
+//	selestd -addr 127.0.0.1:8765 -wire-addr 127.0.0.1:8766 \
+//	    -snapshot /var/lib/selest/snap.selest
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -48,7 +58,8 @@ import (
 
 func main() {
 	var (
-		addr            = flag.String("addr", "127.0.0.1:8765", "listen address (use :0 for an ephemeral port)")
+		addr            = flag.String("addr", "127.0.0.1:8765", "HTTP listen address (use :0 for an ephemeral port)")
+		wireAddr        = flag.String("wire-addr", "", "selestwire binary-protocol listen address (empty = disabled; use :0 for an ephemeral port)")
 		snapshotPath    = flag.String("snapshot", "", "snapshot file: recovered on boot, written on shutdown and every -snapshot-every")
 		snapshotEvery   = flag.Duration("snapshot-every", 0, "periodic crash-safe snapshot interval (0 = only at shutdown)")
 		requireSnapshot = flag.Bool("require-snapshot", false, "refuse to start when -snapshot exists but cannot be recovered (default: log and serve cold)")
@@ -58,7 +69,7 @@ func main() {
 		queueCap        = flag.Int("queue-cap", 0, "per-attribute ingest queue bound; overflow sheds oldest (0 = 8192)")
 		maxInflight     = flag.Int64("max-inflight", 0, "inflight-request threshold beyond which fresh estimates degrade to the snapshot rung (0 = 1024)")
 		maxBatch        = flag.Int("max-batch", 0, "max queries per batch / values per ingest (0 = 4096)")
-		defaultTimeout  = flag.Duration("default-timeout", 0, "deadline applied to requests without X-Selest-Timeout-Ms (0 = 5s)")
+		defaultTimeout  = flag.Duration("default-timeout", 0, "deadline applied to requests without a budget of their own (0 = 5s)")
 		degradeDeadline = flag.Duration("degrade-deadline", 0, "remaining-deadline threshold below which fresh estimates skip their flush (0 = 25ms)")
 	)
 	flag.Parse()
@@ -66,7 +77,7 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	telemetry.Enable()
-	srv := server.New(server.Config{
+	srv, err := server.NewServer(server.Options{
 		QuotaRate:       *quotaRate,
 		QuotaBurst:      *quotaBurst,
 		QueueCap:        *queueCap,
@@ -74,7 +85,13 @@ func main() {
 		DegradeDeadline: *degradeDeadline,
 		MaxInflight:     *maxInflight,
 		MaxBatch:        *maxBatch,
+		SnapshotPath:    *snapshotPath,
+		HTTPAddr:        *addr,
+		WireAddr:        *wireAddr,
 	})
+	if err != nil {
+		log.Fatalf("configuration: %v", err)
+	}
 
 	if *snapshotPath != "" {
 		switch err := srv.Recover(*snapshotPath); {
@@ -93,14 +110,33 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	// The bound address on stdout is the machine-readable contract the
+	// The bound addresses on stdout are the machine-readable contract the
 	// bench harness waits for.
 	fmt.Printf("selestd listening on %s\n", ln.Addr())
+
+	var wireSrv *server.WireServer
+	serveErr := make(chan error, 2)
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("listen wire %s: %v", *wireAddr, err)
+		}
+		fmt.Printf("selestd wire listening on %s\n", wln.Addr())
+		wireSrv = srv.NewWireServer()
+		go func() {
+			if err := wireSrv.Serve(wln); err != nil {
+				serveErr <- fmt.Errorf("wire serve: %w", err)
+			}
+		}()
+	}
 	os.Stdout.Sync()
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- fmt.Errorf("serve: %w", err)
+		}
+	}()
 
 	stopSnapshots := make(chan struct{})
 	if *snapshotPath != "" && *snapshotEvery > 0 {
@@ -126,17 +162,32 @@ func main() {
 	case s := <-sig:
 		log.Printf("received %v; draining (budget %v)", s, *drainTimeout)
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		log.Fatal(err)
 	}
 	close(stopSnapshots)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting connections and wait for in-flight handlers first,
-	// then drain queues, flush refits, and persist.
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+	// Stop accepting connections and wait for in-flight handlers on both
+	// transports first, then drain queues, flush refits, and persist.
+	var shut sync.WaitGroup
+	shut.Add(1)
+	go func() {
+		defer shut.Done()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+	if wireSrv != nil {
+		shut.Add(1)
+		go func() {
+			defer shut.Done()
+			if err := wireSrv.Shutdown(ctx); err != nil {
+				log.Printf("wire shutdown: %v", err)
+			}
+		}()
 	}
+	shut.Wait()
 	if err := srv.Close(ctx, *snapshotPath); err != nil {
 		log.Printf("drain: %v", err)
 		os.Exit(1)

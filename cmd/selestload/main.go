@@ -1,46 +1,56 @@
 // Command selestload drives mixed read/ingest traffic at a running
-// selestd and reports exact latency percentiles — the committed evidence
-// behind BENCH_service.json.
+// selestd through the native client package and reports exact latency
+// percentiles — the committed evidence behind BENCH_service.json.
 //
-// Each worker loops over a -read-frac coin: reads are single estimates
-// (a -batch-frac slice of them batched to amortise transport), writes are
-// -ingest-batch values of uniform noise. The client is a production
-// citizen: every request carries a -timeout budget, and failures retry up
-// to -retries times with exponential backoff plus full jitter, honouring
-// the server's Retry-After on a 429 and announcing the retry via the
-// X-Selest-Retry header so the daemon's retried counter sees it.
+// It speaks both transports: -proto wire uses the selestwire binary
+// protocol (pipelined persistent connections), -proto json the HTTP
+// transport, and -proto both measures each in turn against the same
+// daemon in one process — the JSON-vs-wire comparison the protocol
+// exists to win. Each worker loops over a -read-frac coin: reads are
+// single estimates (a -batch-frac slice of them batched to amortise
+// transport), writes are -ingest-batch values of uniform noise. The
+// client package supplies the production behaviour: per-request -timeout
+// budgets announced to the server, bounded retries with full-jitter
+// backoff honouring throttle hints, and typed errors.
 //
-// Latencies are recorded per successful attempt (retries burn their own
-// clock), merged across workers, and reported as p50/p99/p999 alongside
-// throughput, retry, shed, and error counts, as a JSON array in the same
-// record shape the other BENCH_*.json files use.
+// Latencies are recorded per successful call (a call's internal retries
+// burn its own clock), merged across workers, and reported as
+// p50/p99/p999 alongside throughput, retry, shed, and error counts, as a
+// JSON array in the same record shape the other BENCH_*.json files use;
+// -proto both appends a ServiceProtocolComparison record with the
+// req/s ratio.
 //
 // Example:
 //
-//	selestload -addr 127.0.0.1:8765 -duration 10s -workers 32 -out BENCH_service.json
+//	selestload -addr 127.0.0.1:8765 -wire-addr 127.0.0.1:8766 \
+//	    -proto both -duration 10s -workers 32 -out BENCH_service.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
-	"net/http"
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
+
+	"selest/client"
 )
 
 type options struct {
 	addr        string
+	wireAddr    string
+	proto       string
 	duration    time.Duration
 	workers     int
+	conns       int
 	tenants     int
 	attrs       int
 	readFrac    float64
@@ -60,18 +70,27 @@ type options struct {
 type result struct {
 	readNs   []int64
 	ingestNs []int64
-	retries  int64
 	failures int64
 	shed     int64
 	queued   int64
-	statuses map[int]int64
+}
+
+// runTotals is one protocol's merged outcome, kept for the comparison
+// record.
+type runTotals struct {
+	proto   client.Protocol
+	rps     float64
+	records []map[string]any
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.addr, "addr", "127.0.0.1:8765", "selestd address")
-	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measured load duration")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8765", "selestd HTTP address")
+	flag.StringVar(&o.wireAddr, "wire-addr", "", "selestd wire-protocol address (required for -proto wire/both)")
+	flag.StringVar(&o.proto, "proto", "both", "transport to bench: json, wire, or both")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measured load duration (per protocol)")
 	flag.IntVar(&o.workers, "workers", 32, "concurrent client workers")
+	flag.IntVar(&o.conns, "conns", 4, "wire-protocol connection-pool size")
 	flag.IntVar(&o.tenants, "tenants", 4, "tenants to spread traffic over")
 	flag.IntVar(&o.attrs, "attrs", 2, "attributes per tenant")
 	flag.Float64Var(&o.readFrac, "read-frac", 0.8, "fraction of requests that are estimates")
@@ -80,7 +99,7 @@ func main() {
 	flag.IntVar(&o.ingestBatch, "ingest-batch", 64, "values per ingest request")
 	flag.Float64Var(&o.freshFrac, "fresh-frac", 0.01, "fraction of estimates demanding a fresh fit")
 	flag.DurationVar(&o.timeout, "timeout", time.Second, "per-request client timeout")
-	flag.IntVar(&o.retries, "retries", 3, "max retries per request (exponential backoff with jitter)")
+	flag.IntVar(&o.retries, "retries", 3, "max retries per request (full-jitter backoff, throttle hints honoured)")
 	flag.IntVar(&o.seedValues, "seed-values", 4096, "values ingested per attribute before the clock starts")
 	flag.StringVar(&o.out, "out", "BENCH_service.json", "output file ('-' for stdout)")
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
@@ -88,27 +107,44 @@ func main() {
 	log.SetPrefix("selestload: ")
 	log.SetFlags(0)
 
-	base := "http://" + o.addr
-	client := &http.Client{Timeout: o.timeout}
-
-	if err := setup(client, base, &o); err != nil {
-		log.Fatalf("setup: %v", err)
+	var protos []client.Protocol
+	switch o.proto {
+	case "json":
+		protos = []client.Protocol{client.ProtoJSON}
+	case "wire":
+		protos = []client.Protocol{client.ProtoWire}
+	case "both":
+		protos = []client.Protocol{client.ProtoJSON, client.ProtoWire}
+	default:
+		log.Fatalf("unknown -proto %q (valid: json, wire, both)", o.proto)
 	}
 
-	results := make([]result, o.workers)
-	deadline := time.Now().Add(o.duration)
-	var wg sync.WaitGroup
-	for w := 0; w < o.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			results[w] = worker(w, client, base, &o, deadline)
-		}(w)
+	var records []map[string]any
+	totals := make([]runTotals, 0, len(protos))
+	for _, proto := range protos {
+		rt, err := run(proto, &o)
+		if err != nil {
+			log.Fatalf("%s: %v", proto, err)
+		}
+		records = append(records, rt.records...)
+		totals = append(totals, rt)
 	}
-	wg.Wait()
+	if len(totals) == 2 {
+		cmp := map[string]any{
+			"name":       "ServiceProtocolComparison",
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"workers":    o.workers,
+			"duration_s": o.duration.Seconds(),
+		}
+		for _, rt := range totals {
+			cmp[string(rt.proto)+"_rps"] = rt.rps
+		}
+		if totals[0].rps > 0 {
+			cmp["wire_vs_json"] = totals[1].rps / totals[0].rps
+		}
+		records = append(records, cmp)
+	}
 
-	merged := merge(results)
-	records := report(&o, merged)
 	var buf bytes.Buffer
 	buf.WriteString("[\n")
 	for i, r := range records {
@@ -131,29 +167,75 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("done: %d reads, %d ingests, %d retries, %d failures, %d shed → %s",
-		len(merged.readNs), len(merged.ingestNs), merged.retries, merged.failures, merged.shed, o.out)
+	log.Printf("wrote %s", o.out)
+}
+
+// run measures one protocol: build a client, create and seed the
+// attributes, drive the closed-loop workers for the duration, and render
+// the records.
+func run(proto client.Protocol, o *options) (runTotals, error) {
+	addr := o.addr
+	if proto == client.ProtoWire {
+		if o.wireAddr == "" {
+			return runTotals{}, errors.New("-wire-addr is required for the wire protocol")
+		}
+		addr = o.wireAddr
+	}
+	c, err := client.New(client.Options{
+		Addr:           addr,
+		Protocol:       proto,
+		Conns:          o.conns,
+		RequestTimeout: o.timeout,
+		MaxRetries:     o.retries,
+	})
+	if err != nil {
+		return runTotals{}, err
+	}
+	defer c.Close()
+
+	if err := setup(c, o); err != nil {
+		return runTotals{}, fmt.Errorf("setup: %w", err)
+	}
+
+	results := make([]result, o.workers)
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = worker(w, c, o, deadline)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := merge(results)
+	stats := c.Stats()
+	rt := runTotals{proto: proto}
+	rt.rps = float64(len(merged.readNs)+len(merged.ingestNs)) / elapsed.Seconds()
+	rt.records = report(proto, o, merged, stats, elapsed)
+	log.Printf("%s: %d reads, %d ingests, %.0f req/s, %d retries, %d failures, %d shed",
+		proto, len(merged.readNs), len(merged.ingestNs), rt.rps, stats.Retries, merged.failures, merged.shed)
+	return rt, nil
 }
 
 func tenantName(i int) string { return fmt.Sprintf("tenant-%02d", i) }
 func attrName(i int) string   { return fmt.Sprintf("attr-%02d", i) }
 
 // setup creates every attribute and pre-fills it so measured reads
-// answer from real fits, not from cold uniform rungs.
-func setup(client *http.Client, base string, o *options) error {
+// answer from real fits, not from cold uniform rungs. Attribute creation
+// is idempotent, so back-to-back runs against one daemon share state.
+func setup(c *client.Client, o *options) error {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(o.seed))
+	cfg := client.AttrConfig{DomainLo: 0, DomainHi: 1, ReservoirSize: 2000, Seed: 7}
 	for t := 0; t < o.tenants; t++ {
 		for a := 0; a < o.attrs; a++ {
-			create := map[string]any{
-				"tenant": tenantName(t),
-				"attr":   attrName(a),
-				"config": map[string]any{
-					"domain_lo": 0.0, "domain_hi": 1.0,
-					"reservoir_size": 2000, "seed": 7,
-				},
-			}
-			if err := postOK(client, base+"/v1/attrs", create); err != nil {
-				return fmt.Errorf("create %s/%s: %w", tenantName(t), attrName(a), err)
+			tenant, attr := tenantName(t), attrName(a)
+			if err := c.CreateAttr(ctx, tenant, attr, cfg, client.WithMaxRetries(5)); err != nil {
+				return fmt.Errorf("create %s/%s: %w", tenant, attr, err)
 			}
 			for sent := 0; sent < o.seedValues; sent += 512 {
 				n := o.seedValues - sent
@@ -164,16 +246,12 @@ func setup(client *http.Client, base string, o *options) error {
 				for i := range values {
 					values[i] = rng.Float64()
 				}
-				if err := postOK(client, base+"/v1/ingest", map[string]any{
-					"tenant": tenantName(t), "attr": attrName(a), "values": values,
-				}); err != nil {
+				if _, err := c.Ingest(ctx, tenant, attr, values, client.WithMaxRetries(5)); err != nil {
 					return fmt.Errorf("seed ingest: %w", err)
 				}
 			}
-			if err := postOK(client, base+"/v1/estimate", map[string]any{
-				"tenant": tenantName(t), "attr": attrName(a),
-				"lo": 0.0, "hi": 1.0, "fresh": true,
-			}); err != nil {
+			if _, err := c.Estimate(ctx, tenant, attr, 0, 1,
+				client.WithFresh(), client.WithMaxRetries(5), client.WithTimeout(10*time.Second)); err != nil {
 				return fmt.Errorf("priming fit: %w", err)
 			}
 		}
@@ -181,71 +259,49 @@ func setup(client *http.Client, base string, o *options) error {
 	return nil
 }
 
-func postOK(client *http.Client, url string, payload any) error {
-	body, err := json.Marshal(payload)
-	if err != nil {
-		return err
-	}
-	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		if err == nil {
-			b, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			if attempt >= 5 {
-				return fmt.Errorf("status %d: %s", resp.StatusCode, b)
-			}
-		} else if attempt >= 5 {
-			return err
-		}
-		time.Sleep(time.Duration(50*(attempt+1)) * time.Millisecond)
-	}
-}
-
 // worker is one closed-loop client: it fires requests back to back until
 // the deadline, classifying each as read or ingest and recording the
-// latency of every successful attempt.
-func worker(id int, client *http.Client, base string, o *options, deadline time.Time) result {
+// latency of every successful call (the client's bounded retries run
+// inside it).
+func worker(id int, c *client.Client, o *options, deadline time.Time) result {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(o.seed + int64(id)*7919))
-	res := result{statuses: make(map[int]int64)}
+	var res result
 	ingestValues := make([]float64, o.ingestBatch)
+	queries := make([]client.Range, o.batchSize)
 	for time.Now().Before(deadline) {
 		tenant := tenantName(rng.Intn(o.tenants))
 		attr := attrName(rng.Intn(o.attrs))
-		var url string
-		var payload any
 		isRead := rng.Float64() < o.readFrac
+		start := time.Now()
+		var err error
+		var ir client.IngestResult
 		switch {
 		case isRead && rng.Float64() < o.batchFrac:
-			queries := make([]map[string]float64, o.batchSize)
 			for i := range queries {
 				lo := rng.Float64()
-				queries[i] = map[string]float64{"lo": lo, "hi": lo + rng.Float64()*(1-lo)}
+				queries[i] = client.Range{Lo: lo, Hi: lo + rng.Float64()*(1-lo)}
 			}
-			url = base + "/v1/estimate/batch"
-			payload = map[string]any{"tenant": tenant, "attr": attr, "queries": queries}
+			_, err = c.EstimateBatch(ctx, tenant, attr, queries)
 		case isRead:
 			lo := rng.Float64()
-			url = base + "/v1/estimate"
-			payload = map[string]any{
-				"tenant": tenant, "attr": attr,
-				"lo": lo, "hi": lo + rng.Float64()*(1-lo),
-				"fresh": rng.Float64() < o.freshFrac,
+			hi := lo + rng.Float64()*(1-lo)
+			if rng.Float64() < o.freshFrac {
+				_, err = c.Estimate(ctx, tenant, attr, lo, hi, client.WithFresh())
+			} else {
+				_, err = c.Estimate(ctx, tenant, attr, lo, hi)
 			}
 		default:
 			for i := range ingestValues {
 				ingestValues[i] = rng.Float64()
 			}
-			url = base + "/v1/ingest"
-			payload = map[string]any{"tenant": tenant, "attr": attr, "values": ingestValues}
+			ir, err = c.Ingest(ctx, tenant, attr, ingestValues)
 		}
-		ns, ir, ok := request(client, rng, url, payload, o, &res)
-		if !ok {
+		if err != nil {
 			res.failures++
 			continue
 		}
+		ns := time.Since(start).Nanoseconds()
 		if isRead {
 			res.readNs = append(res.readNs, ns)
 		} else {
@@ -257,88 +313,14 @@ func worker(id int, client *http.Client, base string, o *options, deadline time.
 	return res
 }
 
-type ingestReply struct {
-	Queued int `json:"queued"`
-	Shed   int `json:"shed"`
-}
-
-// request sends one payload with the client-side robustness loop:
-// per-attempt timeout (the http.Client's), Retry-After-honouring 429
-// handling, and exponential backoff with full jitter on transport errors
-// and 5xx. The latency recorded is the successful attempt's alone.
-func request(client *http.Client, rng *rand.Rand, url string, payload any, o *options, res *result) (int64, ingestReply, bool) {
-	body, err := json.Marshal(payload)
-	if err != nil {
-		return 0, ingestReply{}, false
-	}
-	for attempt := 0; attempt <= o.retries; attempt++ {
-		req, err := http.NewRequest("POST", url, bytes.NewReader(body))
-		if err != nil {
-			return 0, ingestReply{}, false
-		}
-		req.Header.Set("Content-Type", "application/json")
-		if attempt > 0 {
-			req.Header.Set("X-Selest-Retry", strconv.Itoa(attempt))
-			res.retries++
-		}
-		start := time.Now()
-		resp, err := client.Do(req)
-		if err != nil {
-			// Transport error or client timeout: back off and retry.
-			sleepBackoff(rng, attempt)
-			continue
-		}
-		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		res.statuses[resp.StatusCode]++
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			var ir ingestReply
-			_ = json.Unmarshal(b, &ir)
-			return time.Since(start).Nanoseconds(), ir, true
-		case resp.StatusCode == http.StatusTooManyRequests:
-			// The server says exactly when the budget refills; honour it
-			// (bounded), jittered so a herd of workers does not re-arrive
-			// in step.
-			wait := time.Duration(500+rng.Intn(500)) * time.Millisecond
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				w := time.Duration(secs) * time.Second
-				if w < wait {
-					wait = w
-				}
-			}
-			time.Sleep(wait)
-		case resp.StatusCode >= 500:
-			sleepBackoff(rng, attempt)
-		default:
-			// 4xx other than 429 is a caller bug: retrying cannot help.
-			return 0, ingestReply{}, false
-		}
-	}
-	return 0, ingestReply{}, false
-}
-
-// sleepBackoff is exponential backoff with full jitter: U(0, 10ms·2^n).
-func sleepBackoff(rng *rand.Rand, attempt int) {
-	ceil := 10 * time.Millisecond << uint(attempt)
-	if ceil > 2*time.Second {
-		ceil = 2 * time.Second
-	}
-	time.Sleep(time.Duration(rng.Int63n(int64(ceil))))
-}
-
 func merge(results []result) result {
-	out := result{statuses: make(map[int]int64)}
+	var out result
 	for _, r := range results {
 		out.readNs = append(out.readNs, r.readNs...)
 		out.ingestNs = append(out.ingestNs, r.ingestNs...)
-		out.retries += r.retries
 		out.failures += r.failures
 		out.shed += r.shed
 		out.queued += r.queued
-		for k, v := range r.statuses {
-			out.statuses[k] += v
-		}
 	}
 	return out
 }
@@ -357,8 +339,9 @@ func quantile(sorted []int64, q float64) int64 {
 	return sorted[idx]
 }
 
-// report renders the merged tallies in the BENCH_*.json record shape.
-func report(o *options, m result) []map[string]any {
+// report renders the merged tallies in the BENCH_*.json record shape,
+// tagged with the protocol they were measured over.
+func report(proto client.Protocol, o *options, m result, stats client.Stats, elapsed time.Duration) []map[string]any {
 	mk := func(name string, ns []int64) map[string]any {
 		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 		var sum int64
@@ -367,6 +350,7 @@ func report(o *options, m result) []map[string]any {
 		}
 		rec := map[string]any{
 			"name":       name,
+			"proto":      string(proto),
 			"gomaxprocs": runtime.GOMAXPROCS(0),
 			"runs":       len(ns),
 			"workers":    o.workers,
@@ -382,13 +366,14 @@ func report(o *options, m result) []map[string]any {
 	total := len(m.readNs) + len(m.ingestNs)
 	totals := map[string]any{
 		"name":       "ServiceMixedTotals",
+		"proto":      string(proto),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"runs":       total,
 		"workers":    o.workers,
-		"duration_s": o.duration.Seconds(),
-		"rps":        float64(total) / o.duration.Seconds(),
+		"duration_s": elapsed.Seconds(),
+		"rps":        float64(total) / elapsed.Seconds(),
 		"read_frac":  o.readFrac,
-		"retries":    m.retries,
+		"retries":    stats.Retries,
 		"failures":   m.failures,
 		"queued":     m.queued,
 		"shed":       m.shed,

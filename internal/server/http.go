@@ -9,7 +9,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -17,47 +16,28 @@ import (
 	"strconv"
 	"time"
 
+	"selest/internal/errcode"
 	"selest/internal/faultinject"
 	"selest/internal/telemetry"
+	"selest/internal/wire"
 
 	"context"
 )
 
-// maxBodyBytes bounds any request body; payloads beyond it are a typed
-// 400, not an OOM.
-const maxBodyBytes = 16 << 20
+// The typed error body every non-2xx response carries is the
+// transport-neutral envelope from internal/errcode: the wire transport
+// sends the same (code, message) pair in its error frames.
+type (
+	apiError  = errcode.APIError
+	errorBody = errcode.ErrorBody
+)
 
-// apiError is the typed error body every non-2xx response carries.
-type apiError struct {
-	// Code is a stable machine-readable identifier: bad_request,
-	// not_found, over_quota, draining, conflict, timeout, panic.
-	Code string `json:"code"`
-	// Message is the human-readable detail.
-	Message string `json:"message"`
-}
-
-type errorBody struct {
-	Error apiError `json:"error"`
-}
-
-// writeError maps a service error to its HTTP status and typed body.
+// writeError maps a service error to its HTTP status and typed body via
+// the shared errcode registry — the single classification both
+// transports use.
 func writeError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, "internal"
-	switch {
-	case errors.Is(err, ErrNotFound):
-		status, code = http.StatusNotFound, "not_found"
-	case errors.Is(err, ErrBadRange), errors.Is(err, ErrBadValue):
-		status, code = http.StatusBadRequest, "bad_request"
-	case errors.Is(err, ErrOverQuota):
-		status, code = http.StatusTooManyRequests, "over_quota"
-	case errors.Is(err, ErrDraining):
-		status, code = http.StatusServiceUnavailable, "draining"
-	case errors.Is(err, ErrConflict):
-		status, code = http.StatusConflict, "conflict"
-	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusGatewayTimeout, "timeout"
-	}
-	writeJSON(w, status, errorBody{Error: apiError{Code: code, Message: err.Error()}})
+	code := errcode.Classify(err)
+	writeJSON(w, code.HTTPStatus(), errorBody{Error: apiError{Code: code.String(), Message: err.Error()}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -222,7 +202,7 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 		}()
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: apiError{
-				Code: "method_not_allowed", Message: "use POST",
+				Code: errcode.CodeMethodNotAllowed.String(), Message: "use POST",
 			}})
 			return
 		}
@@ -230,15 +210,16 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 			writeError(w, ErrDraining)
 			return
 		}
-		if retries := r.Header.Get("X-Selest-Retry"); retries != "" && retries != "0" {
+		if retries := r.Header.Get(wire.HeaderRetry); retries != "" && retries != "0" {
 			srvRetried.Inc()
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxPayloadBytes)
 
-		// Deadline propagation: the client names its budget; the server
+		// Deadline propagation: the client names its budget (the typed
+		// form is wire.Meta.TimeoutMs / client.WithTimeout); the server
 		// defaults one so no request can wait forever.
 		timeout := s.cfg.DefaultTimeout
-		if ms := r.Header.Get("X-Selest-Timeout-Ms"); ms != "" {
+		if ms := r.Header.Get(wire.HeaderTimeoutMs); ms != "" {
 			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
 				timeout = time.Duration(v) * time.Millisecond
 			}

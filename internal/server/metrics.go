@@ -28,6 +28,21 @@ var (
 	srvSnapshotSaves = telemetry.Default.Counter("selest_server_snapshot_saves_total")
 )
 
+// Wire-transport telemetry, kept as its own series (rather than folded
+// into the HTTP ones) so a dual-listener daemon can compare transports
+// directly — the JSON-vs-wire latency gap is the whole point of the
+// binary protocol.
+var (
+	srvWireRequests    = telemetry.Default.Counter("selest_server_wire_requests_total")
+	srvWireProtoErrors = telemetry.Default.Counter("selest_server_wire_protocol_errors_total")
+	srvWireReadErrors  = telemetry.Default.Counter("selest_server_wire_read_errors_total")
+	srvWireWriteErrors = telemetry.Default.Counter("selest_server_wire_write_errors_total")
+
+	srvWireConns = telemetry.Default.Gauge("selest_server_wire_connections")
+
+	srvWireLatencyNanos = telemetry.Default.Histogram("selest_server_wire_request_nanos")
+)
+
 // Per-rung answer counters, one labeled series per ladder rung, captured
 // once so the answer path stays allocation-free.
 var srvAnswersByRung = func() map[rung]*telemetry.Counter {

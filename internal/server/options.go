@@ -1,0 +1,160 @@
+// Service construction: the validated Options struct and the NewServer
+// constructor — the server-side mirror of selest.Options.Validate. Every
+// limit, queue size, snapshot path, and listener config lives here so a
+// daemon's whole shape is one declarative value, and a bad value is a
+// typed core.ErrBadOption at construction time instead of a surprise at
+// request time.
+package server
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"selest/internal/errs"
+)
+
+// Options parameterises the service. The zero value is a working
+// server: every limit takes the documented default. Validate rejects
+// values outside their range with typed errs.ErrBadOption errors
+// (errors.Is-compatible with core.ErrBadOption).
+type Options struct {
+	// QuotaRate/QuotaBurst set every tenant's token bucket: QuotaRate
+	// tokens refill per second up to QuotaBurst, and each request costs
+	// its payload size (one per estimate query, one per ingested value).
+	// QuotaRate <= 0 disables admission control.
+	QuotaRate, QuotaBurst float64
+	// QueueCap bounds each attribute's ingest queue; overflow sheds the
+	// oldest queued values. Zero defaults to 8192.
+	QueueCap int
+	// DefaultTimeout is applied to requests that carry no deadline of
+	// their own. Zero defaults to 5s.
+	DefaultTimeout time.Duration
+	// DegradeDeadline is the remaining-deadline threshold below which a
+	// fresh=true estimate skips its flush and answers from the current
+	// snapshot instead of racing the clock. Zero defaults to 25ms.
+	DegradeDeadline time.Duration
+	// MaxInflight is the overload threshold: while more requests than
+	// this are in flight, fresh=true estimates degrade to the snapshot
+	// rung. Zero defaults to 1024.
+	MaxInflight int64
+	// MaxBatch bounds queries per batch-estimate and values per ingest
+	// request. Zero defaults to 4096.
+	MaxBatch int
+	// MaxAttrs bounds the total number of attributes across tenants.
+	// Zero defaults to 4096.
+	MaxAttrs int
+	// MaxPayloadBytes bounds a request body (HTTP) or frame payload
+	// (wire): payloads beyond it are a typed error, not an OOM. Zero
+	// defaults to 16 MiB.
+	MaxPayloadBytes int64
+
+	// SnapshotPath, when non-empty, names the crash-safe snapshot file
+	// the daemon recovers on boot and writes on shutdown. The Server
+	// itself only reads it as documentation of intent; cmd/selestd
+	// drives Recover/SaveSnapshot with it.
+	SnapshotPath string
+	// HTTPAddr/WireAddr are the daemon's listener configs: the HTTP/JSON
+	// transport address and the selestwire binary-protocol address
+	// (empty disables the wire listener). Like SnapshotPath these are
+	// carried for the daemon; the Server serves whatever listeners it is
+	// handed.
+	HTTPAddr, WireAddr string
+}
+
+// withDefaults returns o with every zero limit replaced by its default.
+func (o Options) withDefaults() Options {
+	if o.QueueCap == 0 {
+		o.QueueCap = 8192
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 5 * time.Second
+	}
+	if o.DegradeDeadline == 0 {
+		o.DegradeDeadline = 25 * time.Millisecond
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 1024
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxAttrs == 0 {
+		o.MaxAttrs = 4096
+	}
+	if o.MaxPayloadBytes == 0 {
+		o.MaxPayloadBytes = 16 << 20
+	}
+	return o
+}
+
+// Validate reports the first option outside its valid range as a typed
+// errs.ErrBadOption error. Zero values are valid everywhere (they mean
+// "use the default"); negatives, NaNs, and inconsistent pairs are not.
+func (o *Options) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("server: %s: %w", fmt.Sprintf(format, args...), errs.ErrBadOption)
+	}
+	if math.IsNaN(o.QuotaRate) || math.IsInf(o.QuotaRate, 0) {
+		return bad("QuotaRate %v must be finite", o.QuotaRate)
+	}
+	if math.IsNaN(o.QuotaBurst) || math.IsInf(o.QuotaBurst, 0) || o.QuotaBurst < 0 {
+		return bad("QuotaBurst %v must be finite and non-negative", o.QuotaBurst)
+	}
+	if o.QuotaRate > 0 && o.QuotaBurst == 0 {
+		return bad("QuotaRate %v needs a positive QuotaBurst", o.QuotaRate)
+	}
+	if o.QueueCap < 0 {
+		return bad("QueueCap %d must be non-negative", o.QueueCap)
+	}
+	if o.DefaultTimeout < 0 {
+		return bad("DefaultTimeout %v must be non-negative", o.DefaultTimeout)
+	}
+	if o.DegradeDeadline < 0 {
+		return bad("DegradeDeadline %v must be non-negative", o.DegradeDeadline)
+	}
+	if o.MaxInflight < 0 {
+		return bad("MaxInflight %d must be non-negative", o.MaxInflight)
+	}
+	if o.MaxBatch < 0 {
+		return bad("MaxBatch %d must be non-negative", o.MaxBatch)
+	}
+	if o.MaxAttrs < 0 {
+		return bad("MaxAttrs %d must be non-negative", o.MaxAttrs)
+	}
+	if o.MaxPayloadBytes < 0 {
+		return bad("MaxPayloadBytes %d must be non-negative", o.MaxPayloadBytes)
+	}
+	// Two listeners on one address can never both bind — except port 0,
+	// where the kernel hands each its own ephemeral port.
+	if o.HTTPAddr != "" && o.HTTPAddr == o.WireAddr && !strings.HasSuffix(o.HTTPAddr, ":0") {
+		return bad("HTTPAddr and WireAddr are both %q", o.HTTPAddr)
+	}
+	return nil
+}
+
+// NewServer validates o and returns a server configured by it. This is
+// the constructor; New is the deprecated unvalidated shim.
+func NewServer(o Options) (*Server, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: o.withDefaults(), tenants: make(map[string]*tenant)}, nil
+}
+
+// Config is the pre-Options name for the service configuration.
+//
+// Deprecated: use Options with NewServer, which validates. Config
+// remains an alias so existing construction sites keep compiling.
+type Config = Options
+
+// New returns an empty server without validating cfg — out-of-range
+// values are silently defaulted or carried, matching the pre-Options
+// behaviour.
+//
+// Deprecated: use NewServer, which rejects invalid options with typed
+// errs.ErrBadOption errors.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), tenants: make(map[string]*tenant)}
+}

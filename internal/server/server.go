@@ -18,7 +18,6 @@ package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +26,7 @@ import (
 	"time"
 
 	"selest/internal/core"
+	"selest/internal/errcode"
 	"selest/internal/faultinject"
 	"selest/internal/kde"
 	"selest/internal/online"
@@ -44,66 +44,20 @@ const (
 	FaultHandler = "server.handler"
 )
 
-// Typed service errors; the HTTP layer maps these to status codes and
-// typed JSON error bodies.
+// Typed service errors, rooted in the transport-neutral registry
+// (internal/errcode) both the HTTP and wire layers map from — same
+// stable code, same message, regardless of the envelope. The quota,
+// drain, conflict, and not-found sentinels are the registry's own; the
+// two request-shape sentinels are service-specific refinements that wrap
+// errcode.ErrBadRequest, so errors.Is matches either level.
 var (
-	ErrNotFound  = errors.New("unknown tenant or attribute")
-	ErrBadRange  = errors.New("invalid range (NaN or inverted bounds)")
-	ErrBadValue  = errors.New("non-finite value")
-	ErrOverQuota = errors.New("tenant over quota")
-	ErrDraining  = errors.New("server shutting down")
-	ErrConflict  = errors.New("attribute exists with different configuration")
+	ErrNotFound  = errcode.ErrNotFound
+	ErrBadRange  = fmt.Errorf("%w: invalid range (NaN or inverted bounds)", errcode.ErrBadRequest)
+	ErrBadValue  = fmt.Errorf("%w: non-finite value", errcode.ErrBadRequest)
+	ErrOverQuota = errcode.ErrOverQuota
+	ErrDraining  = errcode.ErrDraining
+	ErrConflict  = errcode.ErrConflict
 )
-
-// Config parameterises the service.
-type Config struct {
-	// QuotaRate/QuotaBurst set every tenant's token bucket: QuotaRate
-	// tokens refill per second up to QuotaBurst, and each request costs
-	// its payload size (one per estimate query, one per ingested value).
-	// QuotaRate <= 0 disables admission control.
-	QuotaRate, QuotaBurst float64
-	// QueueCap bounds each attribute's ingest queue; overflow sheds the
-	// oldest queued values. Zero defaults to 8192.
-	QueueCap int
-	// DefaultTimeout is applied to requests that carry no deadline of
-	// their own. Zero defaults to 5s.
-	DefaultTimeout time.Duration
-	// DegradeDeadline is the remaining-deadline threshold below which a
-	// fresh=true estimate skips its flush and answers from the current
-	// snapshot instead of racing the clock. Zero defaults to 25ms.
-	DegradeDeadline time.Duration
-	// MaxInflight is the overload threshold: while more requests than
-	// this are in flight, fresh=true estimates degrade to the snapshot
-	// rung. Zero defaults to 1024.
-	MaxInflight int64
-	// MaxBatch bounds queries per batch-estimate and values per ingest
-	// request. Zero defaults to 4096.
-	MaxBatch int
-	// MaxAttrs bounds the total number of attributes across tenants.
-	// Zero defaults to 4096.
-	MaxAttrs int
-}
-
-func (c *Config) applyDefaults() {
-	if c.QueueCap == 0 {
-		c.QueueCap = 8192
-	}
-	if c.DefaultTimeout == 0 {
-		c.DefaultTimeout = 5 * time.Second
-	}
-	if c.DegradeDeadline == 0 {
-		c.DegradeDeadline = 25 * time.Millisecond
-	}
-	if c.MaxInflight == 0 {
-		c.MaxInflight = 1024
-	}
-	if c.MaxBatch == 0 {
-		c.MaxBatch = 4096
-	}
-	if c.MaxAttrs == 0 {
-		c.MaxAttrs = 4096
-	}
-}
 
 // AttrConfig is one attribute's estimator configuration — the unit the
 // manifest persists, so a restart rebuilds identical serving machinery.
@@ -220,7 +174,7 @@ type tenant struct {
 // Server is the multi-tenant estimator service. All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg Config
+	cfg Options
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
@@ -230,12 +184,6 @@ type Server struct {
 	queueTotal atomic.Int64
 	draining   atomic.Bool
 	wg         sync.WaitGroup
-}
-
-// New returns an empty server.
-func New(cfg Config) *Server {
-	cfg.applyDefaults()
-	return &Server{cfg: cfg, tenants: make(map[string]*tenant)}
 }
 
 // builders assembles an attribute's degradation ladder: the configured

@@ -1,0 +1,399 @@
+// The selestwire binary transport: a TCP listener speaking the
+// length-prefixed, CRC-framed, request-id-pipelined protocol from
+// internal/wire, over the same Server core as the HTTP/JSON transport —
+// same admission buckets, same degradation ladder, same drain gate, same
+// per-request panic containment, same errcode registry. Only the
+// envelope differs: a binary frame instead of an HTTP response.
+//
+// Concurrency model: one reader goroutine per connection decodes frames
+// and dispatches each request onto its own goroutine (bounded per
+// connection), so a slow fresh-estimate never head-of-line-blocks the
+// pipelined requests behind it; responses are written under a per-
+// connection mutex and may interleave in any order — the request id is
+// the correlation, exactly as DESIGN.md §13 specifies.
+//
+// Failure posture mirrors the HTTP transport: a malformed payload inside
+// a well-framed request is a typed error response on that request alone;
+// a framing error (bad magic, CRC mismatch, oversized length) is
+// unrecoverable — the server sends a final error frame and hangs up,
+// because a corrupt stream cannot be re-synchronised.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selest/internal/errcode"
+	"selest/internal/faultinject"
+	"selest/internal/wire"
+)
+
+// maxConnPipelined bounds the requests in flight on one connection; a
+// client pipelining deeper than this blocks in the reader until a slot
+// frees, which backpressures the TCP window instead of growing
+// goroutines without bound.
+const maxConnPipelined = 128
+
+// WireServer serves the binary protocol over a Server. Create one with
+// Server.NewWireServer, hand it listeners via Serve, and stop it with
+// Shutdown (the wire twin of http.Server.Shutdown).
+type WireServer struct {
+	s *Server
+
+	mu      sync.Mutex
+	lns     map[net.Listener]struct{}
+	conns   map[net.Conn]struct{}
+	reqs    sync.WaitGroup
+	closing atomic.Bool
+}
+
+// NewWireServer returns a wire-protocol front over s.
+func (s *Server) NewWireServer() *WireServer {
+	return &WireServer{
+		s:     s,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until the listener closes (usually via
+// Shutdown). It returns nil after a Shutdown-initiated close and the
+// accept error otherwise.
+func (ws *WireServer) Serve(ln net.Listener) error {
+	ws.mu.Lock()
+	if ws.closing.Load() {
+		ws.mu.Unlock()
+		ln.Close()
+		return errors.New("server: wire listener after shutdown")
+	}
+	ws.lns[ln] = struct{}{}
+	ws.mu.Unlock()
+	defer func() {
+		ws.mu.Lock()
+		delete(ws.lns, ln)
+		ws.mu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if ws.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		if ws.closing.Load() {
+			ws.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		ws.conns[c] = struct{}{}
+		ws.mu.Unlock()
+		go ws.serveConn(c)
+	}
+}
+
+// Shutdown stops the wire transport gracefully: close every listener
+// (no new connections), wait — bounded by ctx — for requests already
+// dispatched to finish and their responses to flush, then close the
+// connections. Requests arriving while the Server is draining receive
+// typed draining errors rather than dropped connections, so a client
+// sees the same contract as HTTP's 503-during-drain.
+func (ws *WireServer) Shutdown(ctx context.Context) error {
+	ws.closing.Store(true)
+	ws.mu.Lock()
+	for ln := range ws.lns {
+		ln.Close()
+	}
+	ws.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		ws.reqs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: wire shutdown abandoned in-flight requests: %w", ctx.Err())
+	}
+	ws.mu.Lock()
+	for c := range ws.conns {
+		c.Close()
+	}
+	ws.mu.Unlock()
+	return err
+}
+
+// CloseConns forcibly closes every live connection without touching the
+// listeners — a dead-peer hook for tests and operators: clients must
+// detect the broken socket and redial.
+func (ws *WireServer) CloseConns() {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for c := range ws.conns {
+		c.Close()
+	}
+}
+
+// connWriter serialises response frames from concurrent request
+// goroutines onto one connection.
+type connWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	c  net.Conn
+}
+
+func (cw *connWriter) writeFrame(f wire.Frame) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	// A write error leaves the connection for the reader loop to reap;
+	// there is no one to report it to but telemetry.
+	if err := wire.WriteFrame(cw.bw, f); err == nil {
+		if err := cw.bw.Flush(); err != nil {
+			srvWireWriteErrors.Inc()
+		}
+	} else {
+		srvWireWriteErrors.Inc()
+	}
+}
+
+func (ws *WireServer) serveConn(c net.Conn) {
+	srvWireConns.Set(float64(ws.wireConnCount(c, +1)))
+	defer func() {
+		srvWireConns.Set(float64(ws.wireConnCount(c, -1)))
+		c.Close()
+	}()
+
+	cw := &connWriter{bw: bufio.NewWriterSize(c, 64<<10), c: c}
+	br := bufio.NewReaderSize(c, 64<<10)
+	sem := make(chan struct{}, maxConnPipelined)
+	var buf []byte
+	for {
+		var f wire.Frame
+		var err error
+		f, buf, err = wire.ReadFrame(br, uint32(ws.s.cfg.MaxPayloadBytes), buf)
+		if err != nil {
+			if errors.Is(err, wire.ErrProtocol) {
+				// The stream is corrupt: answer once (id 0 — after a
+				// framing error no id is trustworthy) and hang up.
+				srvWireProtoErrors.Inc()
+				cw.writeFrame(errorFrame(0, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
+			} else if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				srvWireReadErrors.Inc()
+			}
+			return
+		}
+		if !f.Op.IsRequest() {
+			srvWireProtoErrors.Inc()
+			cw.writeFrame(errorFrame(f.ID, fmt.Errorf("%w: %v", ErrBadValue, wire.ErrUnknownOp), 0))
+			return
+		}
+		// The frame's payload aliases the read buffer, which the next
+		// ReadFrame reuses — copy before handing it to a goroutine.
+		payload := append([]byte(nil), f.Payload...)
+		sem <- struct{}{}
+		ws.reqs.Add(1)
+		go func(op wire.Op, id uint64, payload []byte) {
+			defer func() { <-sem; ws.reqs.Done() }()
+			ws.handle(cw, op, id, payload)
+		}(f.Op, f.ID, payload)
+	}
+}
+
+// wireConnCount registers or unregisters a connection and returns the
+// new count for the gauge.
+func (ws *WireServer) wireConnCount(c net.Conn, delta int) int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if delta > 0 {
+		// Serve already registered the conn; nothing to add.
+	} else {
+		delete(ws.conns, c)
+	}
+	return len(ws.conns)
+}
+
+// errorFrame builds the OpError response for err, carrying the stable
+// errcode and the retry-after throttle hint.
+func errorFrame(id uint64, err error, retryAfter time.Duration) wire.Frame {
+	res := wire.ErrorRes{
+		Code:    uint16(errcode.Classify(err)),
+		Message: err.Error(),
+	}
+	if retryAfter > 0 {
+		ms := retryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1 // ceil: retrying earlier would just be refused again
+		}
+		res.RetryAfterMs = uint32(ms)
+	}
+	return wire.Frame{Op: wire.OpError, ID: id, Payload: res.Append(nil)}
+}
+
+// handle is the wire twin of the HTTP wrap middleware plus endpoint
+// dispatch: inflight/latency accounting, drain gate, retry visibility,
+// deadline propagation from the request meta, admission control, panic
+// containment, and the op-specific decode → serve → encode.
+func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []byte) {
+	start := time.Now()
+	s := ws.s
+	srvInflight.Set(float64(s.inflight.Add(1)))
+	defer func() {
+		srvInflight.Set(float64(s.inflight.Add(-1)))
+		srvWireLatencyNanos.ObserveSince(start)
+		if rec := recover(); rec != nil {
+			srvPanics.Inc()
+			cw.writeFrame(errorFrame(id, fmt.Errorf("panic contained: %v", rec), 0))
+		}
+	}()
+	srvWireRequests.Inc()
+	if s.draining.Load() {
+		cw.writeFrame(errorFrame(id, ErrDraining, 0))
+		return
+	}
+	if err := faultinject.Check(FaultHandler); err != nil {
+		cw.writeFrame(errorFrame(id, err, 0))
+		return
+	}
+
+	reply := func(meta wire.Meta, tenant string, cost int, serve func(ctx context.Context) ([]byte, error)) {
+		if meta.Retry > 0 {
+			srvRetried.Inc()
+		}
+		timeout := s.cfg.DefaultTimeout
+		if meta.TimeoutMs > 0 {
+			timeout = time.Duration(meta.TimeoutMs) * time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if retry, err := s.Admit(tenant, cost); err != nil {
+			cw.writeFrame(errorFrame(id, err, retry))
+			return
+		}
+		out, err := serve(ctx)
+		if err != nil {
+			cw.writeFrame(errorFrame(id, err, 0))
+			return
+		}
+		cw.writeFrame(wire.Frame{Op: op | wire.RespFlag, ID: id, Payload: out})
+	}
+	badReq := func(err error) {
+		cw.writeFrame(errorFrame(id, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
+	}
+
+	switch op {
+	case wire.OpEstimate:
+		req, err := wire.DecodeEstimateReq(payload)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		if req.Tenant == "" || req.Attr == "" {
+			badReq(errors.New("tenant and attr are required"))
+			return
+		}
+		reply(req.Meta, req.Tenant, 1, func(ctx context.Context) ([]byte, error) {
+			res, err := s.Estimate(ctx, req.Tenant, req.Attr, req.Lo, req.Hi, req.Fresh)
+			if err != nil {
+				return nil, err
+			}
+			return estimateRes(res).Append(nil), nil
+		})
+
+	case wire.OpEstimateBatch:
+		req, err := wire.DecodeEstimateBatchReq(payload, s.cfg.MaxBatch)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		if req.Tenant == "" || req.Attr == "" {
+			badReq(errors.New("tenant and attr are required"))
+			return
+		}
+		reply(req.Meta, req.Tenant, len(req.Queries), func(ctx context.Context) ([]byte, error) {
+			queries := make([]RangeQuery, len(req.Queries))
+			for i, q := range req.Queries {
+				queries[i] = RangeQuery{Lo: q.Lo, Hi: q.Hi}
+			}
+			results, err := s.EstimateBatch(ctx, req.Tenant, req.Attr, queries, req.Fresh)
+			if err != nil {
+				return nil, err
+			}
+			out := wire.EstimateBatchRes{Results: make([]wire.EstimateRes, len(results))}
+			for i, r := range results {
+				out.Results[i] = estimateRes(r)
+			}
+			return out.Append(nil), nil
+		})
+
+	case wire.OpIngest:
+		req, err := wire.DecodeIngestReq(payload, s.cfg.MaxBatch)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		if req.Tenant == "" || req.Attr == "" {
+			badReq(errors.New("tenant and attr are required"))
+			return
+		}
+		reply(req.Meta, req.Tenant, len(req.Values), func(ctx context.Context) ([]byte, error) {
+			res, err := s.Ingest(req.Tenant, req.Attr, req.Values)
+			if err != nil {
+				return nil, err
+			}
+			return wire.IngestRes{Queued: uint32(res.Queued), Shed: uint32(res.Shed)}.Append(nil), nil
+		})
+
+	case wire.OpCreateAttr:
+		req, err := wire.DecodeCreateAttrReq(payload)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		if req.Tenant == "" || req.Attr == "" {
+			badReq(errors.New("tenant and attr are required"))
+			return
+		}
+		var cfg AttrConfig
+		if err := decodeJSON(bytes.NewReader(req.Config), &cfg); err != nil {
+			badReq(err)
+			return
+		}
+		reply(req.Meta, req.Tenant, 1, func(ctx context.Context) ([]byte, error) {
+			if err := s.CreateAttr(req.Tenant, req.Attr, cfg); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		})
+
+	case wire.OpPing:
+		req, err := wire.DecodePingReq(payload)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		_ = req
+		cw.writeFrame(wire.Frame{Op: op | wire.RespFlag, ID: id})
+	}
+}
+
+// estimateRes converts the service result to its wire twin.
+func estimateRes(r EstimateResult) wire.EstimateRes {
+	return wire.EstimateRes{
+		Selectivity: r.Selectivity,
+		Rows:        r.Rows,
+		Generation:  r.Generation,
+		Rung:        r.Rung,
+		Degraded:    r.Degraded,
+	}
+}

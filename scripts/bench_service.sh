@@ -1,21 +1,27 @@
 #!/bin/sh
 # bench_service.sh — end-to-end service benchmark: build selestd and
-# selestload, boot the daemon on an ephemeral port with a snapshot file,
-# drive mixed read/ingest load, and write the latency/throughput records
-# (p50/p99/p999, retry/shed/failure counts) to BENCH_service.json. The
-# daemon is shut down with SIGTERM at the end, so the run also exercises
-# the graceful drain + final-snapshot path.
+# selestload, boot the daemon on ephemeral HTTP and wire ports with a
+# snapshot file, drive mixed read/ingest load over BOTH protocols from
+# one selestload run, and write the latency/throughput records
+# (p50/p99/p999 per protocol, retry/shed/failure counts, and the
+# JSON-vs-wire req/s comparison) to BENCH_service.json. The daemon is
+# shut down with SIGTERM at the end, so the run also exercises the
+# graceful drain + final-snapshot path on both listeners.
 #
-# Knobs (env): DURATION (default 10s), WORKERS (32), READ_FRAC (0.8),
-# SEED_VALUES (4096), OUT (BENCH_service.json). `make bench-service-quick`
-# sets a short duration and discards the output — smoke, not evidence.
+# Knobs (env): DURATION (default 10s, per protocol), WORKERS (32),
+# CONNS (defaults to WORKERS, so neither protocol is handicapped by
+# connection churn), READ_FRAC (0.8), SEED_VALUES (4096), PROTO (both),
+# OUT (BENCH_service.json). `make bench-service-quick` sets a short
+# duration and discards the output — smoke, not evidence.
 set -e
 
 GO=${GO:-go}
 DURATION=${DURATION:-10s}
 WORKERS=${WORKERS:-32}
+CONNS=${CONNS:-$WORKERS}
 READ_FRAC=${READ_FRAC:-0.8}
 SEED_VALUES=${SEED_VALUES:-4096}
+PROTO=${PROTO:-both}
 OUT=${OUT:-BENCH_service.json}
 
 TMP=$(mktemp -d)
@@ -29,16 +35,19 @@ trap cleanup EXIT INT TERM
 $GO build -o "$TMP/selestd" ./cmd/selestd
 $GO build -o "$TMP/selestload" ./cmd/selestload
 
-"$TMP/selestd" -addr 127.0.0.1:0 -snapshot "$TMP/snap.selest" \
+"$TMP/selestd" -addr 127.0.0.1:0 -wire-addr 127.0.0.1:0 \
+    -snapshot "$TMP/snap.selest" \
     > "$TMP/selestd.log" 2>&1 &
 DPID=$!
 
-# The daemon prints its bound address once the listener is up.
+# The daemon prints each bound address once its listener is up.
 ADDR=""
+WIRE_ADDR=""
 i=0
 while [ $i -lt 100 ]; do
     ADDR=$(sed -n 's/^selestd listening on //p' "$TMP/selestd.log" | head -n 1)
-    [ -n "$ADDR" ] && break
+    WIRE_ADDR=$(sed -n 's/^selestd wire listening on //p' "$TMP/selestd.log" | head -n 1)
+    [ -n "$ADDR" ] && [ -n "$WIRE_ADDR" ] && break
     if ! kill -0 "$DPID" 2>/dev/null; then
         echo "selestd died during startup:" >&2
         cat "$TMP/selestd.log" >&2
@@ -47,17 +56,18 @@ while [ $i -lt 100 ]; do
     sleep 0.1
     i=$((i + 1))
 done
-if [ -z "$ADDR" ]; then
-    echo "selestd never reported a listen address" >&2
+if [ -z "$ADDR" ] || [ -z "$WIRE_ADDR" ]; then
+    echo "selestd never reported its listen addresses" >&2
     cat "$TMP/selestd.log" >&2
     exit 1
 fi
 
-"$TMP/selestload" -addr "$ADDR" -duration "$DURATION" -workers "$WORKERS" \
+"$TMP/selestload" -addr "$ADDR" -wire-addr "$WIRE_ADDR" -proto "$PROTO" \
+    -duration "$DURATION" -workers "$WORKERS" -conns "$CONNS" \
     -read-frac "$READ_FRAC" -seed-values "$SEED_VALUES" -out "$OUT"
 
-# Graceful shutdown: drain, flush, final snapshot. A non-zero exit or a
-# missing snapshot fails the bench.
+# Graceful shutdown: drain both listeners, flush, final snapshot. A
+# non-zero exit or a missing snapshot fails the bench.
 kill -TERM "$DPID"
 wait "$DPID"
 DPID=""

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-experiments race-fit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-experiments race-fit race-refit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-refit bench-refit-quick benchstat-refit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
 
 build:
 	$(GO) build ./...
@@ -127,6 +127,36 @@ benchstat-fit:
 		echo "benchstat not installed or no BENCH_fit.txt baseline; skipping"; \
 	fi
 
+# The closed-form refit ladder: end-to-end online refit per bandwidth
+# rule at n = 1e4/1e5/1e6, the selector stage alone on a prebuilt
+# context, the copy+sort+index floor, and the 0-alloc query pin. Writes
+# the raw output to BENCH_refit.txt (the committed benchstat baseline)
+# and the parsed records to BENCH_refit.json — the committed evidence
+# for the closed-form bandwidth engine.
+bench-refit:
+	$(GO) test -run '^$$' -bench 'BenchmarkRefit' -benchmem -timeout 60m \
+		./internal/online/ \
+		| tee /dev/stderr | tee BENCH_refit.txt | sh scripts/bench2json.sh > BENCH_refit.json
+
+# A fast single-iteration sweep of the same benchmarks: smoke coverage
+# that every BenchmarkRefit* still runs, cheap enough for ci.
+bench-refit-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkRefit' -benchtime 1x -timeout 10m \
+		./internal/online/ > /dev/null
+
+# benchstat is optional tooling: when installed, diff a fresh quick run
+# of the refit benches against the committed BENCH_refit.txt baseline;
+# skip quietly on a bare Go toolchain.
+benchstat-refit:
+	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_refit.txt ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkRefit' -benchmem -benchtime 1x -timeout 10m \
+			./internal/online/ > BENCH_refit.head.txt; \
+		benchstat BENCH_refit.txt BENCH_refit.head.txt || true; \
+		rm -f BENCH_refit.head.txt; \
+	else \
+		echo "benchstat not installed or no BENCH_refit.txt baseline; skipping"; \
+	fi
+
 # The serving-engine pairs: snapshot engine vs the preserved RWMutex
 # baseline for steady-state parallel queries, query latency during an
 # n=1e6 DPI refit (the p50/p99/max stall numbers), sharded vs locked
@@ -188,4 +218,11 @@ race-fit:
 	$(GO) test -race -run 'Workers|FitContext|DensityGrid|MatchesSeed' \
 		./internal/fsort/ ./internal/kde/ ./internal/bandwidth/ ./internal/hybrid/
 
-ci: vet staticcheck govulncheck test race race-experiments race-fit race-serve race-service race-wire bench-fit-quick benchstat-fit bench-serve-quick benchstat-serve bench-service-quick
+# The closed-form refit determinism pin under the race detector: online
+# refits under the beta-closed-form rule must be bit-identical across
+# shard counts and concurrent insert interleavings.
+race-refit:
+	$(GO) test -race -run 'ClosedForm' \
+		./internal/online/ ./internal/bandwidth/
+
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-refit race-serve race-service race-wire bench-fit-quick benchstat-fit bench-refit-quick benchstat-refit bench-serve-quick benchstat-serve bench-service-quick

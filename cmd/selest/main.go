@@ -47,7 +47,7 @@ func main() {
 		method      = flag.String("method", "kernel", "estimation method: "+methodList())
 		bins        = flag.Int("bins", 0, "histogram bins (0 = normal scale rule)")
 		bandwidth   = flag.Float64("bandwidth", 0, "kernel bandwidth (0 = rule)")
-		rule        = flag.String("rule", "normal-scale", "smoothing rule: normal-scale | dpi | lscv")
+		rule        = flag.String("rule", "normal-scale", "smoothing rule: normal-scale | dpi | lscv | beta-closed-form | exact-mise")
 		boundary    = flag.String("boundary", "kernels", "kernel boundary treatment: none | reflect | kernels")
 		samples     = flag.Int("samples", 2000, "sample-set size drawn from the data")
 		seed        = flag.Uint64("seed", 1, "sampling seed")

@@ -64,6 +64,7 @@ func ExampleMethods() {
 	// ash              within 0.05 of 0.2: true
 	// frequency-polygon within 0.05 of 0.2: true
 	// kernel           within 0.05 of 0.2: true
+	// beta-kernel      within 0.05 of 0.2: true
 	// variable-kernel  within 0.05 of 0.2: true
 	// hybrid           within 0.05 of 0.2: true
 }

@@ -63,6 +63,7 @@ func TestIntegrationAllMethodsOnRealPipeline(t *testing.T) {
 		selest.FrequencyPolygon: 0.30,
 		selest.ASH:              0.30,
 		selest.Kernel:           0.20,
+		selest.BetaKernel:       0.20,
 		selest.VariableKernel:   0.30,
 		selest.Hybrid:           0.30,
 	}

@@ -15,6 +15,7 @@ import (
 	"selest/internal/kde"
 	"selest/internal/kernel"
 	"selest/internal/stats"
+	"selest/internal/telemetry"
 	"selest/internal/xmath"
 )
 
@@ -129,6 +130,9 @@ func NormalScaleBandwidthSorted(sorted []float64, k kernel.Kernel) (float64, err
 }
 
 func nsBandwidthFromScale(n int, s float64, k kernel.Kernel) (float64, error) {
+	if telemetry.Enabled() {
+		fitKindClosedForm.Inc()
+	}
 	if s <= 0 {
 		return 0, fmt.Errorf("bandwidth: degenerate sample (zero scale)")
 	}
@@ -200,6 +204,9 @@ func DPIBandwidthContext(ctx *kde.FitContext, k kernel.Kernel, steps int, lo, hi
 }
 
 func dpiBandwidthCtx(ctx *kde.FitContext, k kernel.Kernel, steps int, lo, hi float64) (float64, error) {
+	if telemetry.Enabled() {
+		fitKindSearched.Inc()
+	}
 	h, err := NormalScaleBandwidthSorted(ctx.Sorted(), k)
 	if err != nil {
 		return 0, err

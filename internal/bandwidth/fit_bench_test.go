@@ -157,3 +157,64 @@ func BenchmarkFitOracleSeed(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFitBetaClosedForm / BenchmarkFitExactMISE measure the
+// closed-form selectors through their public entry points, symmetric
+// with FitDPI — the one sort each still pays is included.
+func BenchmarkFitBetaClosedForm(b *testing.B) {
+	for _, n := range fitSizes {
+		samples := fitBenchSamples(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BetaClosedForm(samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFitExactMISE(b *testing.B) {
+	for _, n := range fitSizes {
+		samples := fitBenchSamples(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ExactMISECDF(samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFitSelectorOnly isolates the selector stage on a prebuilt
+// fit context — the marginal cost a refit pays after the sort it must
+// do anyway. This is where the closed forms separate from the searches:
+// DPI still sweeps pilot grids, the closed rules are O(1) arithmetic.
+func BenchmarkFitSelectorOnly(b *testing.B) {
+	selectors := []struct {
+		name string
+		fn   func(ctx *kde.FitContext) (float64, error)
+	}{
+		{"dpi", func(ctx *kde.FitContext) (float64, error) {
+			return DPIBandwidthContext(ctx, kernel.Epanechnikov{}, 2, 0, 1e6)
+		}},
+		{"beta-closed-form", BetaClosedFormContext},
+		{"exact-mise", ExactMISECDFContext},
+	}
+	for _, n := range fitSizes {
+		ctx, err := kde.NewFitContext(fitBenchSamples(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sel := range selectors {
+			b.Run(fmt.Sprintf("rule=%s/n=%d", sel.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sel.fn(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"selest/internal/fsort"
 	"selest/internal/kernel"
 	"selest/internal/parallel"
+	"selest/internal/telemetry"
 	"selest/internal/xmath"
 )
 
@@ -68,6 +69,9 @@ func LSCVBandwidthSorted(sorted []float64, k kernel.Kernel, hLo, hHi float64, gr
 }
 
 func lscvSorted(sorted []float64, k kernel.Kernel, hLo, hHi float64, gridN, workers int) (float64, error) {
+	if telemetry.Enabled() {
+		fitKindSearched.Inc()
+	}
 	if !(hLo > 0 && hHi > hLo) {
 		return 0, fmt.Errorf("bandwidth: LSCV needs 0 < hLo < hHi, got [%v, %v]", hLo, hHi)
 	}

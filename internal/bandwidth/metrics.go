@@ -14,11 +14,13 @@ import (
 // init; each rule records one observation per invocation (cold path —
 // rules run once per fit, not per query).
 var (
-	ruleNanosNormalScale = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale"))
-	ruleNanosNSBinWidth  = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale-binwidth"))
-	ruleNanosDPI         = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi"))
-	ruleNanosDPIBinWidth = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi-binwidth"))
-	ruleNanosLSCV        = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "lscv"))
+	ruleNanosNormalScale    = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale"))
+	ruleNanosNSBinWidth     = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "normal-scale-binwidth"))
+	ruleNanosDPI            = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi"))
+	ruleNanosDPIBinWidth    = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "dpi-binwidth"))
+	ruleNanosLSCV           = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "lscv"))
+	ruleNanosBetaClosedForm = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "beta-closed-form"))
+	ruleNanosExactMISE      = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_rule_nanos", "rule", "exact-mise"))
 
 	// Pilot-build histograms: one observation per pilot density built and
 	// swept inside a DPI iteration. rule_nanos − Σ pilot_nanos is the
@@ -26,6 +28,14 @@ var (
 	// which the fit-path engine drove toward zero.
 	pilotNanosDPI         = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_pilot_nanos", "rule", "dpi"))
 	pilotNanosDPIBinWidth = telemetry.Default.Histogram(telemetry.Label("selest_bandwidth_pilot_nanos", "rule", "dpi-binwidth"))
+
+	// Fit-kind counters: how many kernel-bandwidth selections were answered
+	// by a closed form (normal-scale, beta-closed-form, exact-mise) versus a
+	// search (DPI pilot cascade, LSCV grid scan). The ratio is the share of
+	// refits running at sort-dominated cost — the closed-form engine's
+	// reason to exist.
+	fitKindClosedForm = telemetry.Default.Counter(telemetry.Label("selest_fit_closed_form_total", "kind", "closed-form"))
+	fitKindSearched   = telemetry.Default.Counter(telemetry.Label("selest_fit_closed_form_total", "kind", "searched"))
 )
 
 // pilotObserver is the slice of the telemetry histogram surface the pilot

@@ -62,6 +62,10 @@ const (
 	FrequencyPolygon Method = "frequency-polygon"
 	// Kernel is kernel selectivity estimation (paper §3.2).
 	Kernel Method = "kernel"
+	// BetaKernel is the beta-kernel estimator (extension): a renormalized
+	// Epanechnikov estimator on the bounded domain whose closed-form
+	// bandwidth rules make refits sort-dominated. Epanechnikov only.
+	BetaKernel Method = "beta-kernel"
 	// VariableKernel is sample-point adaptive kernel estimation
 	// (Abramson's square-root law; extension beyond the paper).
 	VariableKernel Method = "variable-kernel"
@@ -71,7 +75,7 @@ const (
 
 // Methods lists every method Build accepts, in comparison order.
 func Methods() []Method {
-	return []Method{Sampling, Uniform, EquiWidth, EquiDepth, MaxDiff, VOptimal, EndBiased, Wavelet, ASH, FrequencyPolygon, Kernel, VariableKernel, Hybrid}
+	return []Method{Sampling, Uniform, EquiWidth, EquiDepth, MaxDiff, VOptimal, EndBiased, Wavelet, ASH, FrequencyPolygon, Kernel, BetaKernel, VariableKernel, Hybrid}
 }
 
 // BandwidthRule selects how the smoothing parameter is chosen when the
@@ -88,6 +92,12 @@ const (
 	DPI BandwidthRule = "dpi"
 	// LSCV is least-squares cross-validation (extension).
 	LSCV BandwidthRule = "lscv"
+	// BetaClosedForm is the closed-form beta-reference plug-in (extension):
+	// O(1) off the fit context's prefix moments, no pilot cascade.
+	BetaClosedForm BandwidthRule = "beta-closed-form"
+	// ExactMISE is the closed-form CDF-targeted selector (extension): the
+	// exact minimiser of the kernel-CDF MISE under the beta reference.
+	ExactMISE BandwidthRule = "exact-mise"
 )
 
 // Options configures Build. The zero value plus a domain builds a kernel
@@ -250,6 +260,27 @@ func dispatch(samples []float64, opts Options, method Method) (Estimator, error)
 			DomainLo:  opts.DomainLo,
 			DomainHi:  opts.DomainHi,
 		})
+	case BetaKernel:
+		// Same shared-context discipline as Kernel: one sort and one moment
+		// index serve the closed-form rule and the estimator. The default
+		// rule here is BetaClosedForm — the rule the method exists for.
+		ctx, err := kde.NewFitContext(samples)
+		if err != nil {
+			return nil, err
+		}
+		betaOpts := opts
+		if betaOpts.Rule == "" {
+			betaOpts.Rule = BetaClosedForm
+		}
+		h, err := kernelBandwidthCtx(ctx, betaOpts, method)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.NewBetaEstimator(kde.BetaConfig{
+			Bandwidth: h,
+			DomainLo:  opts.DomainLo,
+			DomainHi:  opts.DomainHi,
+		})
 	case VariableKernel:
 		h, err := kernelBandwidth(samples, opts, method)
 		if err != nil {
@@ -297,8 +328,8 @@ func binCount(samples []float64, opts Options, method Method) (int, error) {
 			steps = 2
 		}
 		width, err = bandwidth.DPIBinWidth(samples, steps, opts.DomainLo, opts.DomainHi)
-	case LSCV:
-		return 0, fmt.Errorf("core: LSCV selects kernel bandwidths, not bin counts: %w", ErrBadOption)
+	case LSCV, BetaClosedForm, ExactMISE:
+		return 0, fmt.Errorf("core: %s selects kernel bandwidths, not bin counts: %w", rule, ErrBadOption)
 	default:
 		return 0, fmt.Errorf("core: unknown bandwidth rule %q (valid: %s): %w", rule, ruleNames(), ErrBadOption)
 	}
@@ -355,6 +386,10 @@ func kernelBandwidthCtx(ctx *kde.FitContext, opts Options, method Method) (float
 	case LSCV:
 		span := opts.DomainHi - opts.DomainLo
 		h, err = bandwidth.LSCVBandwidthSorted(ctx.Sorted(), k, span/1e4, span/2, 48, 0)
+	case BetaClosedForm:
+		h, err = bandwidth.BetaClosedFormContext(ctx)
+	case ExactMISE:
+		h, err = bandwidth.ExactMISECDFContext(ctx)
 	default:
 		return 0, fmt.Errorf("core: unknown bandwidth rule %q (valid: %s): %w", rule, ruleNames(), ErrBadOption)
 	}

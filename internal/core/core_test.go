@@ -130,7 +130,7 @@ func TestBuildASHShifts(t *testing.T) {
 }
 
 func TestMethodsComplete(t *testing.T) {
-	if len(Methods()) != 13 {
+	if len(Methods()) != 14 {
 		t.Fatalf("Methods() lists %d methods", len(Methods()))
 	}
 }

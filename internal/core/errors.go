@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"selest/internal/errs"
+	"selest/internal/kernel"
 )
 
 // The typed build errors. Build and the robust ladder wrap these with
@@ -48,7 +49,7 @@ func (o Options) Validate() error {
 	if o.Method != "" && !knownMethod(o.Method) {
 		return fmt.Errorf("unknown method %q (valid: %s): %w", o.Method, methodNames(), ErrBadOption)
 	}
-	if o.Rule != "" && o.Rule != NormalScale && o.Rule != DPI && o.Rule != LSCV {
+	if o.Rule != "" && !knownRule(o.Rule) {
 		return fmt.Errorf("unknown bandwidth rule %q (valid: %s): %w", o.Rule, ruleNames(), ErrBadOption)
 	}
 	if o.Bins < 0 {
@@ -72,8 +73,13 @@ func (o Options) Validate() error {
 	if o.Bandwidth < 0 || math.IsNaN(o.Bandwidth) || math.IsInf(o.Bandwidth, 0) {
 		return fmt.Errorf("bandwidth %v is not a non-negative finite value: %w", o.Bandwidth, ErrBadOption)
 	}
-	if o.Rule == LSCV && o.Bins == 0 && isHistogramMethod(o.Method) {
-		return fmt.Errorf("LSCV selects kernel bandwidths, not bin counts (method %s): %w", o.Method, ErrBadOption)
+	if KernelOnlyRule(o.Rule) && o.Bins == 0 && isHistogramMethod(o.Method) {
+		return fmt.Errorf("%s selects kernel bandwidths, not bin counts (method %s): %w", o.Rule, o.Method, ErrBadOption)
+	}
+	if o.Method == BetaKernel {
+		if _, ok := o.Kernel.(kernel.Epanechnikov); o.Kernel != nil && !ok {
+			return fmt.Errorf("beta-kernel serves the Epanechnikov kernel only (got %s): %w", o.Kernel.Name(), ErrBadOption)
+		}
 	}
 	if o.Method == Hybrid {
 		if err := o.HybridConfig.Validate(); err != nil {
@@ -105,7 +111,28 @@ func isHistogramMethod(m Method) bool {
 
 // BandwidthRules lists every rule Build accepts.
 func BandwidthRules() []BandwidthRule {
-	return []BandwidthRule{NormalScale, DPI, LSCV}
+	return []BandwidthRule{NormalScale, DPI, LSCV, BetaClosedForm, ExactMISE}
+}
+
+// knownRule reports whether r is one of the dispatchable rules.
+func knownRule(r BandwidthRule) bool {
+	for _, k := range BandwidthRules() {
+		if k == r {
+			return true
+		}
+	}
+	return false
+}
+
+// KernelOnlyRule reports whether r selects kernel bandwidths exclusively
+// — it cannot derive a histogram bin count. LSCV cross-validates a kernel
+// estimator; the closed-form rules target kernel AMISE/CDF-MISE directly.
+func KernelOnlyRule(r BandwidthRule) bool {
+	switch r {
+	case LSCV, BetaClosedForm, ExactMISE:
+		return true
+	}
+	return false
 }
 
 // methodNames renders the valid method list for error messages.

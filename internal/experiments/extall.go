@@ -21,6 +21,8 @@ func extAllOptions(m core.Method, lo, hi float64) core.Options {
 	case core.VariableKernel:
 		opts.Boundary = kde.BoundaryReflect
 		opts.Rule = core.DPI
+	case core.BetaKernel:
+		opts.Rule = core.BetaClosedForm
 	}
 	return opts
 }

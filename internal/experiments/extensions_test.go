@@ -99,7 +99,7 @@ func TestExtAllCoversEveryMethod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Table.Columns) != 13 {
+	if len(rep.Table.Columns) != 14 {
 		t.Fatalf("ext-all covers %d methods", len(rep.Table.Columns))
 	}
 	if len(rep.Table.Rows) != len(PromisingFiles()) {

@@ -152,6 +152,7 @@ func AllDrivers() []Driver {
 		{"ext-2d", "extension: 2-D product-kernel vs. attribute independence", Ext2D},
 		{"ext-sketch", "extension: sampled vs. sketch-maintained equi-depth histograms", ExtSketch},
 		{"ext-join", "extension: join result-size estimation from kernel densities", ExtJoin},
+		{"ext-bandwidth", "extension: closed-form bandwidth rules vs searched rules, plus drift", ExtBandwidth},
 		{"ext-all", "extension: every estimator × every file, MRE + q-error", ExtAll},
 	}
 }

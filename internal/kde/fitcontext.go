@@ -17,6 +17,7 @@ package kde
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"selest/internal/fsort"
@@ -91,4 +92,50 @@ func (c *FitContext) NewEstimator(cfg Config) (*Estimator, error) {
 // mirroring New for call sites that read better with the config last.
 func NewFromContext(c *FitContext, cfg Config) (*Estimator, error) {
 	return c.NewEstimator(cfg)
+}
+
+// NewBetaEstimator fits a beta-kernel estimator (beta.go) from the
+// context, reusing its sort and prefix-moment index. Results are
+// bit-identical to NewBeta over the same samples.
+func (c *FitContext) NewBetaEstimator(cfg BetaConfig) (*BetaEstimator, error) {
+	if telemetry.Enabled() {
+		fitSortsAvoided.Inc()
+	}
+	return newBetaSorted(c.sorted, cfg, c.moments)
+}
+
+// MomentSummary returns the sample mean and (population) variance. With a
+// moment index the totals are an O(1) read off the centered prefix sums;
+// otherwise one centered pass computes them. ok is false when the sample
+// is empty or the result is not finite.
+func (c *FitContext) MomentSummary() (mean, variance float64, ok bool) {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0, 0, false
+	}
+	nf := float64(n)
+	if m := c.moments; m != nil {
+		d := m.p1[n].val() / nf
+		mean = m.c + d
+		variance = m.p2[n].val()/nf - d*d
+	} else {
+		// Center on the hull midpoint, as the index would.
+		center := 0.5*c.sorted[0] + 0.5*c.sorted[n-1]
+		var s1, s2 float64
+		for _, x := range c.sorted {
+			d := x - center
+			s1 += d
+			s2 += d * d
+		}
+		d := s1 / nf
+		mean = center + d
+		variance = s2/nf - d*d
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(variance) || math.IsInf(variance, 0) {
+		return mean, variance, false
+	}
+	return mean, variance, true
 }

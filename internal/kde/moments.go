@@ -230,6 +230,61 @@ func (m *momentIndex) windowSum(l, r int, y, h float64) float64 {
 	return float64(l) + 0.5*kf + 0.25*ih*(3*sumU.val()-sumU3.val()*ih*ih)
 }
 
+// momentCdf evaluates the in-window part of the CDF sum over [l, r) — the
+// moment closed form alone, without the full-contributor count windowSum
+// adds below the window. Callers must guarantee every sample in [l, r)
+// lies inside the kernel window of (y, h). It exists as a separate
+// function (rather than a factored windowSum) so windowSum's operation
+// order — and therefore the bit-identity pins on the existing query
+// paths — stays untouched.
+func (m *momentIndex) momentCdf(l, r int, y, h float64) float64 {
+	k := r - l
+	if k == 0 {
+		return 0
+	}
+	kf := float64(k)
+	s1 := m.p1[r].sub(m.p1[l])
+	s2 := m.p2[r].sub(m.p2[l])
+	s3 := m.p3[r].sub(m.p3[l])
+	z := twoDiff(y, m.c)
+	sumU := z.mulF(kf).sub(s1)
+	z2 := z.mul(z)
+	sumU3 := z2.mul(z).mulF(kf).
+		sub(z2.mul(s1).mulF(3)).
+		add(z.mul(s2).mulF(3)).
+		sub(s3)
+	ih := 1 / h
+	return 0.5*kf + 0.25*ih*(3*sumU.val()-sumU3.val()*ih*ih)
+}
+
+// rangeCdfSum returns Σᵢ CDF((y − Xᵢ)/h) over the sorted-index range
+// [lo, hi) only, in O(log n): the kernel window is clipped to the range,
+// samples of the range below the window count 1 each (u ≥ 1), samples
+// above it count 0, and the in-window remainder takes the moment closed
+// form. This is the building block of the beta-kernel estimator, whose
+// interior samples form one contiguous index range between the two
+// weighted boundary blocks.
+func (m *momentIndex) rangeCdfSum(lo, hi int, y, h float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	wl, wr := m.window(y, h)
+	if wl > hi {
+		wl = hi
+	}
+	if wl < lo {
+		wl = lo
+	}
+	if wr > hi {
+		wr = hi
+	}
+	s := float64(wl - lo)
+	if wr > wl {
+		s += m.momentCdf(wl, wr, y, h)
+	}
+	return s
+}
+
 // densitySum evaluates Σᵢ K((x − Xᵢ)/h) over the window [l, r) through
 // the centered prefix moments: for the Epanechnikov kernel
 //

@@ -1,0 +1,35 @@
+package online
+
+// The closed-form refit path: a Builder whose whole fit is one radix
+// sort plus O(1) arithmetic. The serving engine hands each builder a
+// private copy of the reservoir (Snapshot allocates), so the builder may
+// sort it in place — the engine keeps the slice afterwards only as the
+// drift baseline, and the Kolmogorov–Smirnov check is order-invariant.
+// With the search stage gone, refit wall time is the sort plus the
+// moment-index build; the refit bench pins the ratio against the DPI
+// builder.
+
+import (
+	"selest/internal/bandwidth"
+	"selest/internal/fsort"
+	"selest/internal/kde"
+)
+
+// ClosedFormBuilder returns a Builder that fits a beta-kernel estimator
+// under the closed-form beta-reference rule. A zero lo and hi leave the
+// domain to each refit's sample hull — the right choice for a drifting
+// stream, where a fixed domain would eventually reject the reservoir.
+func ClosedFormBuilder(lo, hi float64) Builder {
+	return func(samples []float64) (Fitted, error) {
+		fsort.Float64s(samples)
+		ctx, err := kde.NewFitContextSorted(samples)
+		if err != nil {
+			return nil, err
+		}
+		h, err := bandwidth.BetaClosedFormContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.NewBetaEstimator(kde.BetaConfig{Bandwidth: h, DomainLo: lo, DomainHi: hi})
+	}
+}

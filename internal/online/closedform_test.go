@@ -1,0 +1,97 @@
+package online
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"selest/internal/kde"
+	"selest/internal/xrand"
+)
+
+// TestClosedFormBuilderFits pins the builder's contract: a fit over the
+// snapshot it owns, correct selectivities, and hull-domain defaulting.
+func TestClosedFormBuilderFits(t *testing.T) {
+	r := xrand.New(17)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+	}
+	fit, err := ClosedFormBuilder(0, 0)(append([]float64(nil), xs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fit.(*kde.BetaEstimator); !ok {
+		t.Fatalf("builder fitted %T, want *kde.BetaEstimator", fit)
+	}
+	if s := fit.Selectivity(0, 500); math.Abs(s-0.5) > 0.05 {
+		t.Fatalf("Selectivity(0, 500) = %v, want ≈0.5", s)
+	}
+	// A fixed domain is honoured too: the upper half holds no data, so
+	// only the one-bandwidth kernel spill past the hull lands there.
+	fit, err = ClosedFormBuilder(0, 2000)(append([]float64(nil), xs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := fit.Selectivity(1000, 2000); s > 0.05 {
+		t.Fatalf("empty upper half has selectivity %v", s)
+	}
+	if s := fit.Selectivity(1200, 2000); s != 0 {
+		t.Fatalf("region beyond kernel reach has selectivity %v", s)
+	}
+}
+
+// TestClosedFormShardDeterminism pins the closed-form refit as a pure
+// function of the reservoir multiset: with the stream length equal to
+// the reservoir capacity no shard ever evicts, so every shard count and
+// any concurrent insert interleaving retains the same records — and the
+// builder (which sorts before fitting) must answer bit-identically.
+// Run under -race this also exercises the ingest/refit paths for data
+// races (the race-refit make target).
+func TestClosedFormShardDeterminism(t *testing.T) {
+	const K = 4096
+	r := xrand.New(31)
+	stream := make([]float64, K)
+	for i := range stream {
+		stream[i] = r.Float64() * 1e6
+	}
+	queries := [][2]float64{{0, 1e5}, {1e5, 9e5}, {4.2e5, 4.7e5}, {9.99e5, 1e6}, {0, 1e6}}
+
+	var want []float64
+	for _, shards := range []int{1, 2, 8} {
+		e, err := New(ClosedFormBuilder(0, 0), Config{
+			ReservoirSize: K, RefitEvery: -1, Shards: shards, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(part []float64) {
+				defer wg.Done()
+				for _, x := range part {
+					e.Insert(x)
+				}
+			}(stream[w*K/workers : (w+1)*K/workers])
+		}
+		wg.Wait()
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(queries))
+		for i, q := range queries {
+			got[i] = e.Selectivity(q[0], q[1])
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d query %v: %v != %v (bit-identity broken)", shards, queries[i], got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package online
+
+// BenchmarkRefit* — the committed evidence for the closed-form refit
+// path (BENCH_refit.json via `make bench-refit`). Two views:
+//
+//   - Refit measures one end-to-end builder invocation per rule on a
+//     fresh snapshot copy — exactly what the serving engine pays inside
+//     refit() after the reservoir copy. The sort dominates every rule
+//     here; the closed-form win is the gap to the dpi row.
+//   - RefitSelector isolates the bandwidth stage on a prebuilt context:
+//     the part the closed-form engine collapses from a pilot cascade to
+//     O(1) arithmetic (≥10× at n = 10⁶; in practice ~10⁴×).
+//   - RefitSortBaseline is the copy+sort+index floor no builder can
+//     beat, for the "total refit ≤ 1.5× the sort alone" claim.
+//   - RefitQuery pins the query path of the freshly refitted beta
+//     estimator at zero allocations.
+
+import (
+	"fmt"
+	"testing"
+
+	"selest/internal/bandwidth"
+	"selest/internal/core"
+	"selest/internal/fsort"
+	"selest/internal/kde"
+	"selest/internal/kernel"
+	"selest/internal/xrand"
+)
+
+func refitBenchSamples(n int) []float64 {
+	r := xrand.New(uint64(n) + 3)
+	xs := make([]float64, n)
+	for i := range xs {
+		switch i % 3 {
+		case 0:
+			xs[i] = 1e5 + r.Float64()*5e4
+		case 1:
+			xs[i] = 4e5 + r.Float64()*1e4
+		default:
+			xs[i] = 5e5 + r.Float64()*5e5
+		}
+	}
+	return xs
+}
+
+var refitSizes = []int{10_000, 100_000, 1_000_000}
+
+// refitBuilders are the rules a refit can run under, each as the Builder
+// the serving engine would invoke. The core-built rows go through
+// core.Build (sort + rule + estimator), the closed-form row through
+// ClosedFormBuilder (in-place sort + O(1) rule + estimator).
+func refitBuilders() []struct {
+	name string
+	mk   Builder
+} {
+	coreBuilder := func(opts core.Options) Builder {
+		return func(samples []float64) (Fitted, error) {
+			return core.Build(samples, opts)
+		}
+	}
+	return []struct {
+		name string
+		mk   Builder
+	}{
+		{"beta-closed-form", ClosedFormBuilder(0, 0)},
+		{"exact-mise", coreBuilder(core.Options{Method: core.BetaKernel, Rule: core.ExactMISE, DomainLo: 0, DomainHi: 1e6})},
+		{"normal-scale", coreBuilder(core.Options{Method: core.Kernel, Rule: core.NormalScale, Boundary: kde.BoundaryKernels, DomainLo: 0, DomainHi: 1e6})},
+		{"dpi", coreBuilder(core.Options{Method: core.Kernel, Rule: core.DPI, Boundary: kde.BoundaryKernels, DomainLo: 0, DomainHi: 1e6})},
+	}
+}
+
+func BenchmarkRefit(b *testing.B) {
+	for _, builder := range refitBuilders() {
+		for _, n := range refitSizes {
+			samples := refitBenchSamples(n)
+			snap := make([]float64, n)
+			b.Run(fmt.Sprintf("rule=%s/n=%d", builder.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// The engine hands each builder a fresh Snapshot copy;
+					// reproduce that so in-place sorting stays honest.
+					copy(snap, samples)
+					if _, err := builder.mk(snap); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRefitSelector isolates the bandwidth stage on a context the
+// refit has already built (the sort is sunk cost either way).
+func BenchmarkRefitSelector(b *testing.B) {
+	selectors := []struct {
+		name string
+		fn   func(ctx *kde.FitContext) (float64, error)
+	}{
+		{"beta-closed-form", bandwidth.BetaClosedFormContext},
+		{"exact-mise", bandwidth.ExactMISECDFContext},
+		{"dpi", func(ctx *kde.FitContext) (float64, error) {
+			return bandwidth.DPIBandwidthContext(ctx, kernel.Epanechnikov{}, 2, 0, 1e6)
+		}},
+	}
+	for _, sel := range selectors {
+		for _, n := range refitSizes {
+			ctx, err := kde.NewFitContext(refitBenchSamples(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("rule=%s/n=%d", sel.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sel.fn(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRefitSortBaseline is the refit floor: the snapshot copy, the
+// radix sort, and the prefix-moment index — everything below the
+// bandwidth rule.
+func BenchmarkRefitSortBaseline(b *testing.B) {
+	for _, n := range refitSizes {
+		samples := refitBenchSamples(n)
+		snap := make([]float64, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(snap, samples)
+				fsort.Float64s(snap)
+				if _, err := kde.NewFitContextSorted(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRefitQuery pins the query path of the closed-form fit at
+// zero allocations (the b.ReportAllocs line in BENCH_refit is the pin).
+func BenchmarkRefitQuery(b *testing.B) {
+	fit, err := ClosedFormBuilder(0, 0)(refitBenchSamples(100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += fit.Selectivity(2e5, 6e5)
+	}
+	_ = sink
+}

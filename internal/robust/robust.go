@@ -240,10 +240,11 @@ func Build(samples []float64, opts core.Options) (*Estimator, *Report, error) {
 			// boundary kernels require the (default) Epanechnikov kernel.
 			o.Boundary = kde.BoundaryKernels
 		}
-		if rung != core.Kernel && rung != core.VariableKernel && o.Rule == core.LSCV {
-			// LSCV selects kernel bandwidths only; histogram rungs need a
-			// bin-width rule, so stepping down swaps in the normal scale
-			// rule instead of failing on a kernel-only configuration.
+		if !kernelFamily(rung) && core.KernelOnlyRule(o.Rule) {
+			// LSCV and the closed-form rules select kernel bandwidths only;
+			// histogram rungs need a bin-width rule, so stepping down swaps
+			// in the normal scale rule instead of failing on a kernel-only
+			// configuration.
 			o.Rule = core.NormalScale
 		}
 		est, err := safeBuild(clean, o)
@@ -261,6 +262,17 @@ func Build(samples []float64, opts core.Options) (*Estimator, *Report, error) {
 		return &Estimator{inner: est, lo: lo, hi: hi, report: report}, report, nil
 	}
 	return nil, report, fmt.Errorf("robust: every rung failed: %s", report.String())
+}
+
+// kernelFamily reports whether a rung fits a kernel-class estimator —
+// one that resolves its smoothing parameter through a kernel bandwidth,
+// so the kernel-only rules stay meaningful on it.
+func kernelFamily(m core.Method) bool {
+	switch m {
+	case core.Kernel, core.BetaKernel, core.VariableKernel:
+		return true
+	}
+	return false
 }
 
 // ladder returns the rungs to attempt: the requested method first, then

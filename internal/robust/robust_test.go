@@ -299,3 +299,68 @@ func TestReportString(t *testing.T) {
 		}
 	}
 }
+
+// TestBetaKernelServesAndDegrades pins the beta-kernel rung into the
+// ladder: clean builds serve it undegraded under its closed-form rule,
+// and a failure at the closed-form fault site steps down to the kernel
+// rung with the histogram rungs below swapping the kernel-only rule for
+// normal scale — identical degradation to the LSCV path.
+func TestBetaKernelServesAndDegrades(t *testing.T) {
+	o := opts()
+	o.Method = core.BetaKernel
+	o.Rule = core.BetaClosedForm
+	e, rep, err := Build(testSamples(500), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.BetaKernel || rep.Degraded {
+		t.Fatalf("report = %s, want beta-kernel rung undegraded", rep)
+	}
+	assertServes(t, e)
+	if s := e.Selectivity(0, 500); math.Abs(s-0.5) > 0.1 {
+		t.Fatalf("Selectivity(0, 500) = %v, want ≈0.5", s)
+	}
+
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("core.build.beta-kernel", errors.New("beta fit down"))
+	e, rep, err = Build(testSamples(500), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.Kernel {
+		t.Fatalf("rung = %s, want kernel (report: %s)", rep.Rung, rep)
+	}
+	assertServes(t, e)
+
+	// Kill the whole kernel family: the closed-form rule must not strand
+	// the histogram rungs.
+	faultinject.Enable("core.build.kernel", errors.New("kernel down"))
+	e, rep, err = Build(testSamples(500), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.EquiDepth {
+		t.Fatalf("rung = %s, want equi-depth (report: %s)", rep.Rung, rep)
+	}
+	assertServes(t, e)
+}
+
+// TestLadderClosedFormRuleFailure exercises the closed-form fault site
+// through a beta-kernel build, mirroring TestLadderLSCVFailure.
+func TestLadderClosedFormRuleFailure(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Enable("bandwidth.beta-closed-form", errors.New("moments diverged"))
+	o := opts()
+	o.Method = core.BetaKernel
+	o.Rule = core.BetaClosedForm
+	_, rep, err := Build(testSamples(200), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != core.EquiDepth {
+		t.Fatalf("rung = %s, want equi-depth (report: %s)", rep.Rung, rep)
+	}
+	if len(rep.Attempts) == 0 || !strings.Contains(rep.Attempts[0].Err, "moments diverged") {
+		t.Fatalf("report does not name the closed-form failure: %s", rep)
+	}
+}

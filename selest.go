@@ -78,6 +78,10 @@ const (
 	FrequencyPolygon = core.FrequencyPolygon
 	// Kernel is kernel selectivity estimation — the paper's contribution.
 	Kernel = core.Kernel
+	// BetaKernel is the renormalized Epanechnikov estimator on the bounded
+	// domain (extension): closed-form bandwidth rules make its refits
+	// sort-dominated.
+	BetaKernel = core.BetaKernel
 	// VariableKernel is sample-point adaptive kernel estimation
 	// (extension): per-sample bandwidths shrink in dense regions and grow
 	// in sparse ones.
@@ -99,6 +103,12 @@ const (
 	DPI = core.DPI
 	// LSCV is least-squares cross-validation (kernel bandwidths only).
 	LSCV = core.LSCV
+	// BetaClosedForm is the O(1) beta-reference plug-in (kernel bandwidths
+	// only): no pilot cascade, no grid search.
+	BetaClosedForm = core.BetaClosedForm
+	// ExactMISE is the O(1) CDF-targeted closed-form selector (kernel
+	// bandwidths only).
+	ExactMISE = core.ExactMISE
 )
 
 // BoundaryMode selects the kernel boundary treatment.

@@ -33,7 +33,7 @@ func TestFacadeQuickstart(t *testing.T) {
 func TestFacadeAllMethodsExposed(t *testing.T) {
 	want := []selest.Method{
 		selest.Sampling, selest.Uniform, selest.EquiWidth, selest.EquiDepth,
-		selest.MaxDiff, selest.VOptimal, selest.EndBiased, selest.Wavelet, selest.ASH, selest.FrequencyPolygon, selest.Kernel, selest.VariableKernel, selest.Hybrid,
+		selest.MaxDiff, selest.VOptimal, selest.EndBiased, selest.Wavelet, selest.ASH, selest.FrequencyPolygon, selest.Kernel, selest.BetaKernel, selest.VariableKernel, selest.Hybrid,
 	}
 	got := selest.Methods()
 	if len(got) != len(want) {

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-experiments race-fit race-refit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-refit bench-refit-quick benchstat-refit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-cluster race-experiments race-fit race-refit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-refit bench-refit-quick benchstat-refit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick bench-cluster bench-cluster-quick ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ race-service:
 race-wire:
 	$(GO) test -race -run 'TestWireChaos|TestWire' ./internal/server/
 	$(GO) test -race ./client/
+
+# The cluster suites under the race detector: rendezvous-ring movement
+# and stability properties, tenant sharding against server-side ground
+# truth, read failover and write fan-out past a dead replica, health
+# ejection/re-admission, snapshot shipping byte-identity and torn
+# transfers, and the kill/restart chaos run with zero visible errors.
+race-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestClientCluster|TestClientFetchSnapshot' ./client/
+	$(GO) test -race -run 'TestSnapshotShip' ./internal/server/
 
 # The parallel experiment harness under the race detector: bounded worker
 # pool, once-per-key Env cache, and the parallel-equals-sequential report
@@ -202,6 +212,20 @@ bench-service:
 bench-service-quick:
 	DURATION=2s WORKERS=8 SEED_VALUES=512 OUT=/dev/null sh scripts/bench_service.sh
 
+# The horizontal-scaling benchmark: fleets of 1/2/4 capacity-pinned
+# replicas driven through the cluster client's rendezvous routing, plus
+# the `-join` snapshot-shipping smoke. Writes BENCH_cluster.json and
+# BENCH_cluster.txt — the committed evidence for DESIGN.md §15.
+bench-cluster:
+	sh scripts/bench_cluster.sh
+
+# A short smoke run of the same harness (1 and 2 replicas, short
+# duration, output discarded): proves fleet boot, routed load, the
+# failure gate, and the join path, cheap enough for ci.
+bench-cluster-quick:
+	DURATION=2s TENANTS=16 SEED_VALUES=256 SET="1 2" OUT=/dev/null TXT=- \
+		sh scripts/bench_cluster.sh
+
 # govulncheck is optional tooling: scan when installed, skip quietly on
 # a bare Go toolchain so ci never needs network access.
 govulncheck:
@@ -225,4 +249,4 @@ race-refit:
 	$(GO) test -race -run 'ClosedForm' \
 		./internal/online/ ./internal/bandwidth/
 
-ci: vet staticcheck govulncheck test race race-experiments race-fit race-refit race-serve race-service race-wire bench-fit-quick benchstat-fit bench-refit-quick benchstat-refit bench-serve-quick benchstat-serve bench-service-quick
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-refit race-serve race-service race-wire race-cluster bench-fit-quick benchstat-fit bench-refit-quick benchstat-refit bench-serve-quick benchstat-serve bench-service-quick bench-cluster-quick

@@ -20,13 +20,15 @@ import (
 )
 
 type jsonTransport struct {
-	base string
-	hc   *http.Client
+	base     string
+	hc       *http.Client
+	maxFetch int64 // snapshot download bound, from Options.MaxPayload
 }
 
 func newJSONTransport(opts Options) *jsonTransport {
 	return &jsonTransport{
-		base: "http://" + opts.Addr,
+		base:     "http://" + opts.Addr,
+		maxFetch: int64(opts.MaxPayload),
 		hc: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConns:        opts.Conns,
@@ -148,6 +150,44 @@ func (t *jsonTransport) createAttr(ctx context.Context, meta wire.Meta, tenant, 
 		Config json.RawMessage `json:"config"`
 	}{tenant, attr, json.RawMessage(cfgJSON)}
 	return t.do(ctx, meta, "/v1/attrs", body, nil)
+}
+
+// snapshotFetch GETs /v1/snapshot — the raw SELS envelope, streamed
+// with a Content-Length. The download is bounded by Options.MaxPayload
+// so a misbehaving peer cannot balloon the joiner's memory.
+func (t *jsonTransport) snapshotFetch(ctx context.Context, meta wire.Meta) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/v1/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if meta.TimeoutMs > 0 {
+		req.Header.Set(wire.HeaderTimeoutMs, strconv.FormatUint(uint64(meta.TimeoutMs), 10))
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorFromResponse(resp)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, t.maxFetch+1))
+	if err != nil {
+		return nil, fmt.Errorf("client: snapshot download: %w", err)
+	}
+	if int64(len(b)) > t.maxFetch {
+		return nil, fmt.Errorf("client: snapshot exceeds MaxPayload %d", t.maxFetch)
+	}
+	return b, nil
+}
+
+// healthCheck round-trips the health endpoint; the client's health loop
+// uses the answer to drive this replica's routing state.
+func (t *jsonTransport) healthCheck(ctx context.Context) error {
+	return t.ping(ctx, wire.Meta{})
 }
 
 // ping uses the health endpoint — the closest JSON analogue to an

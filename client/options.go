@@ -25,13 +25,28 @@ const (
 	ProtoJSON Protocol = "json"
 )
 
-// Options configures a Client. Addr is required; everything else
-// defaults sensibly.
+// Options configures a Client. Exactly one of Addr (a single server) or
+// Addrs (a replica fleet) is required; everything else defaults
+// sensibly.
 type Options struct {
 	// Addr is the server address (host:port). For ProtoJSON it is the
 	// HTTP listener's address; a scheme prefix is not accepted — the
 	// client builds its own URLs.
 	Addr string
+	// Addrs lists every replica of a scaled-out fleet (host:port each,
+	// all speaking Protocol). The client routes each tenant to
+	// Replication of them by rendezvous hash (DESIGN.md §15): reads go
+	// to the tenant's primary and fail over down the preference list on
+	// connection- and 5xx-class errors; writes fan out to the whole
+	// replica set. Setting both Addr and Addrs, or neither, is an error.
+	Addrs []string
+	// Replication is how many ring replicas own each tenant. Zero
+	// defaults to 1 (pure sharding: each tenant lives on one replica);
+	// values above len(Addrs) are clamped. With Replication > 1 reads
+	// survive a replica death and writes are best-effort fan-out —
+	// success when at least one replica accepts (DESIGN.md §15 spells
+	// out the consistency contract).
+	Replication int
 	// Protocol selects the transport. Empty defaults to ProtoWire.
 	Protocol Protocol
 	// Conns is the connection-pool size for ProtoWire (calls are
@@ -70,6 +85,16 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if len(o.Addrs) == 0 {
+		o.Addrs = []string{o.Addr}
+	}
+	o.Addr = ""
+	if o.Replication == 0 {
+		o.Replication = 1
+	}
+	if o.Replication > len(o.Addrs) {
+		o.Replication = len(o.Addrs)
+	}
 	if o.Protocol == "" {
 		o.Protocol = ProtoWire
 	}
@@ -108,8 +133,24 @@ func (o *Options) Validate() error {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("client: %s: %w", fmt.Sprintf(format, args...), errs.ErrBadOption)
 	}
-	if o.Addr == "" {
-		return bad("Addr is required")
+	if o.Addr == "" && len(o.Addrs) == 0 {
+		return bad("Addr or Addrs is required")
+	}
+	if o.Addr != "" && len(o.Addrs) > 0 {
+		return bad("set Addr or Addrs, not both")
+	}
+	seen := make(map[string]bool, len(o.Addrs))
+	for _, a := range o.Addrs {
+		if a == "" {
+			return bad("empty address in Addrs")
+		}
+		if seen[a] {
+			return bad("duplicate address %q in Addrs", a)
+		}
+		seen[a] = true
+	}
+	if o.Replication < 0 {
+		return bad("Replication %d must be non-negative", o.Replication)
 	}
 	switch o.Protocol {
 	case "", ProtoWire, ProtoJSON:

@@ -1,9 +1,10 @@
 // The selestwire transport: a pool of persistent TCP connections, each
 // pipelining many in-flight requests matched to responses by request id.
-// Connections dial lazily, die loudly (a read error fails every pending
-// call on that connection so the retry loop redials fresh), and a
-// background health checker pings idle connections so a silently dead
-// socket is discovered before a caller inherits it.
+// Connections dial lazily and die loudly (a read error fails every
+// pending call on that connection so the retry loop redials fresh). The
+// client's health loop calls healthCheck each cycle, which pings idle
+// connections so a silently dead socket is discovered before a caller
+// inherits it.
 package client
 
 import (
@@ -25,8 +26,6 @@ type wireTransport struct {
 	dials atomic.Uint64
 
 	closed atomic.Bool
-	stop   chan struct{}
-	done   chan struct{}
 }
 
 // wireSlot is one pool position: a lazily-dialed connection plus the
@@ -38,26 +37,16 @@ type wireSlot struct {
 }
 
 func newWireTransport(opts Options) *wireTransport {
-	t := &wireTransport{
+	return &wireTransport{
 		opts:  opts,
 		slots: make([]wireSlot, opts.Conns),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
 	}
-	if opts.HealthCheckEvery > 0 {
-		go t.healthLoop()
-	} else {
-		close(t.done)
-	}
-	return t
 }
 
 func (t *wireTransport) close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
-	close(t.stop)
-	<-t.done
 	for i := range t.slots {
 		if wc := t.slots[i].conn.Load(); wc != nil {
 			wc.fail(errClosed)
@@ -107,33 +96,38 @@ func (t *wireTransport) conn(ctx context.Context) (*wireConn, error) {
 	return wc, nil
 }
 
-// healthLoop pings connections that have sat idle for a full interval;
-// a failed ping tears the connection down so the next call redials
-// instead of timing out on a dead socket.
-func (t *wireTransport) healthLoop() {
-	defer close(t.done)
-	tick := time.NewTicker(t.opts.HealthCheckEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-t.stop:
-			return
-		case <-tick.C:
-		}
-		idleBefore := time.Now().Add(-t.opts.HealthCheckEvery).UnixNano()
-		for i := range t.slots {
-			wc := t.slots[i].conn.Load()
-			if wc == nil || wc.dead.Load() || wc.lastUsed.Load() > idleBefore {
-				continue
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), t.opts.DialTimeout)
-			_, _, err := wc.roundTrip(ctx, wire.OpPing, wire.PingReq{}.Append(nil))
-			cancel()
-			if err != nil {
-				wc.fail(fmt.Errorf("client: health check: %w", err))
-			}
-		}
+// healthCheck is one probe cycle, driven by the client's health loop.
+// Pooled connections idle for a full interval are pinged; a failed ping
+// tears the connection down so the next call redials instead of timing
+// out on a dead socket. A recently-used live connection counts as
+// healthy without a ping. With no live connection at all, the probe
+// dial-pings — that round trip is what re-admits a recovered replica to
+// routing.
+func (t *wireTransport) healthCheck(ctx context.Context) error {
+	if t.closed.Load() {
+		return errClosed
 	}
+	idleBefore := time.Now().Add(-t.opts.HealthCheckEvery).UnixNano()
+	live := false
+	for i := range t.slots {
+		wc := t.slots[i].conn.Load()
+		if wc == nil || wc.dead.Load() {
+			continue
+		}
+		if wc.lastUsed.Load() > idleBefore {
+			live = true
+			continue
+		}
+		if _, _, err := wc.roundTrip(ctx, wire.OpPing, wire.PingReq{}.Append(nil)); err != nil {
+			wc.fail(fmt.Errorf("client: health check: %w", err))
+			continue
+		}
+		live = true
+	}
+	if live {
+		return nil
+	}
+	return t.ping(ctx, wire.Meta{})
 }
 
 // roundTrip sends one request on any pooled connection and returns the
@@ -223,6 +217,12 @@ func (t *wireTransport) createAttr(ctx context.Context, meta wire.Meta, tenant, 
 func (t *wireTransport) ping(ctx context.Context, meta wire.Meta) error {
 	_, err := t.roundTrip(ctx, wire.OpPing, wire.PingReq{Meta: meta}.Append(nil))
 	return err
+}
+
+// snapshotFetch pulls the server's full snapshot envelope. The response
+// payload is the raw SELS byte stream — no wrapper to decode.
+func (t *wireTransport) snapshotFetch(ctx context.Context, meta wire.Meta) ([]byte, error) {
+	return t.roundTrip(ctx, wire.OpSnapshotFetch, wire.SnapshotFetchReq{Meta: meta}.Append(nil))
 }
 
 func resultFromWire(r wire.EstimateRes) Result {

@@ -9,9 +9,13 @@
 //
 // Lifecycle: on boot the daemon warm-starts from -snapshot when the file
 // exists (a torn snapshot is logged and served cold unless
-// -require-snapshot makes it fatal), then listens on -addr (HTTP) and,
-// when -wire-addr is set, on the binary listener, printing each bound
-// address — pass :0 to let the kernel pick ports. While serving it
+// -require-snapshot makes it fatal); with no usable local snapshot,
+// -join fetches a peer replica's snapshot over the wire protocol
+// (opcode snapshot_fetch) and boots from that — the CRC-verified SELS
+// envelope means a torn transfer refuses rather than serving a partial
+// catalog. It then listens on -addr (HTTP) and, when -wire-addr is set,
+// on the binary listener, printing each bound address — pass :0 to let
+// the kernel pick ports. While serving it
 // persists a crash-safe snapshot every -snapshot-every. On SIGINT/SIGTERM
 // it shuts down gracefully: stop accepting work, drain every accepted
 // request and queued value (bounded by -drain-timeout), flush refits, and
@@ -38,6 +42,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -51,10 +56,40 @@ import (
 	"syscall"
 	"time"
 
+	"selest/client"
 	"selest/internal/catalog"
 	"selest/internal/server"
 	"selest/internal/telemetry"
 )
+
+// joinFrom warm-boots srv from a peer replica: fetch its snapshot over
+// the wire protocol, recover from the byte stream (self-verifying — a
+// torn transfer is refused), and persist a local copy when -snapshot is
+// set so the next boot does not need the peer. The envelope is
+// deterministic, so the local copy is byte-identical to the peer's own
+// snapshot file.
+func joinFrom(srv *server.Server, peer, snapshotPath string, timeout time.Duration) error {
+	c, err := client.New(client.Options{Addr: peer, RequestTimeout: timeout, HealthCheckEvery: -1})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	snap, err := c.FetchSnapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	if err := srv.RecoverReader(bytes.NewReader(snap)); err != nil {
+		return fmt.Errorf("recover fetched snapshot: %w", err)
+	}
+	if snapshotPath != "" {
+		if err := srv.SaveSnapshot(snapshotPath); err != nil {
+			return fmt.Errorf("persist fetched snapshot: %w", err)
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -71,6 +106,10 @@ func main() {
 		maxBatch        = flag.Int("max-batch", 0, "max queries per batch / values per ingest (0 = 4096)")
 		defaultTimeout  = flag.Duration("default-timeout", 0, "deadline applied to requests without a budget of their own (0 = 5s)")
 		degradeDeadline = flag.Duration("degrade-deadline", 0, "remaining-deadline threshold below which fresh estimates skip their flush (0 = 25ms)")
+		join            = flag.String("join", "", "peer replica's wire address to fetch a boot snapshot from when the local -snapshot is absent or torn")
+		joinTimeout     = flag.Duration("join-timeout", 30*time.Second, "budget for the -join snapshot fetch and recovery")
+		globalRate      = flag.Float64("global-rate", 0, "box-wide admission cap in requests/second across all tenants (0 = unlimited); used to pin per-replica capacity in cluster benchmarks")
+		globalBurst     = flag.Float64("global-burst", 0, "box-wide token-bucket burst (0 = one second at -global-rate)")
 	)
 	flag.Parse()
 	log.SetPrefix("selestd: ")
@@ -85,6 +124,8 @@ func main() {
 		DegradeDeadline: *degradeDeadline,
 		MaxInflight:     *maxInflight,
 		MaxBatch:        *maxBatch,
+		GlobalRate:      *globalRate,
+		GlobalBurst:     *globalBurst,
 		SnapshotPath:    *snapshotPath,
 		HTTPAddr:        *addr,
 		WireAddr:        *wireAddr,
@@ -93,16 +134,28 @@ func main() {
 		log.Fatalf("configuration: %v", err)
 	}
 
+	warm := false
 	if *snapshotPath != "" {
 		switch err := srv.Recover(*snapshotPath); {
 		case err == nil:
 			log.Printf("warm start: recovered %s", *snapshotPath)
+			warm = true
 		case errors.Is(err, os.ErrNotExist):
 			log.Printf("cold start: no snapshot at %s", *snapshotPath)
 		case errors.Is(err, catalog.ErrTornSnapshot) && !*requireSnapshot:
 			log.Printf("cold start: snapshot %s is torn (%v); serving cold", *snapshotPath, err)
 		default:
 			log.Fatalf("recovering %s: %v", *snapshotPath, err)
+		}
+	}
+	if !warm && *join != "" {
+		switch err := joinFrom(srv, *join, *snapshotPath, *joinTimeout); {
+		case err == nil:
+			log.Printf("warm start: joined from %s", *join)
+		case *requireSnapshot:
+			log.Fatalf("joining %s: %v", *join, err)
+		default:
+			log.Printf("cold start: join %s failed (%v); serving cold", *join, err)
 		}
 	}
 

@@ -20,6 +20,11 @@
 // -proto both appends a ServiceProtocolComparison record with the
 // req/s ratio.
 //
+// With -replicas a,b,c the same workload drives a fleet through the
+// cluster client: tenants shard over the replicas by rendezvous hash
+// (-replication ring copies each), and the records carry the fleet size
+// — the harness behind scripts/bench_cluster.sh and BENCH_cluster.json.
+//
 // Example:
 //
 //	selestload -addr 127.0.0.1:8765 -wire-addr 127.0.0.1:8766 \
@@ -38,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +53,8 @@ import (
 type options struct {
 	addr        string
 	wireAddr    string
+	replicas    string
+	replication int
 	proto       string
 	duration    time.Duration
 	workers     int
@@ -60,6 +68,8 @@ type options struct {
 	freshFrac   float64
 	timeout     time.Duration
 	retries     int
+	retryBase   time.Duration
+	retryMax    time.Duration
 	seedValues  int
 	out         string
 	seed        int64
@@ -87,6 +97,8 @@ func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8765", "selestd HTTP address")
 	flag.StringVar(&o.wireAddr, "wire-addr", "", "selestd wire-protocol address (required for -proto wire/both)")
+	flag.StringVar(&o.replicas, "replicas", "", "comma-separated wire addresses of a replica fleet; traffic routes by tenant hash through the cluster client (implies -proto wire)")
+	flag.IntVar(&o.replication, "replication", 1, "ring replicas per tenant when -replicas is set")
 	flag.StringVar(&o.proto, "proto", "both", "transport to bench: json, wire, or both")
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measured load duration (per protocol)")
 	flag.IntVar(&o.workers, "workers", 32, "concurrent client workers")
@@ -100,6 +112,8 @@ func main() {
 	flag.Float64Var(&o.freshFrac, "fresh-frac", 0.01, "fraction of estimates demanding a fresh fit")
 	flag.DurationVar(&o.timeout, "timeout", time.Second, "per-request client timeout")
 	flag.IntVar(&o.retries, "retries", 3, "max retries per request (full-jitter backoff, throttle hints honoured)")
+	flag.DurationVar(&o.retryBase, "retry-base", 0, "retry backoff base delay (0 = client default 10ms); keep small against admission-capped servers so the closed loop paces on throttle hints")
+	flag.DurationVar(&o.retryMax, "retry-max", 0, "retry backoff delay cap (0 = client default 2s)")
 	flag.IntVar(&o.seedValues, "seed-values", 4096, "values ingested per attribute before the clock starts")
 	flag.StringVar(&o.out, "out", "BENCH_service.json", "output file ('-' for stdout)")
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
@@ -108,6 +122,11 @@ func main() {
 	log.SetFlags(0)
 
 	var protos []client.Protocol
+	if o.replicas != "" {
+		// Cluster routing rides the wire protocol; a fleet bench measures
+		// the routing layer, not the JSON-vs-wire comparison.
+		o.proto = "wire"
+	}
 	switch o.proto {
 	case "json":
 		protos = []client.Protocol{client.ProtoJSON}
@@ -174,20 +193,26 @@ func main() {
 // attributes, drive the closed-loop workers for the duration, and render
 // the records.
 func run(proto client.Protocol, o *options) (runTotals, error) {
-	addr := o.addr
-	if proto == client.ProtoWire {
-		if o.wireAddr == "" {
-			return runTotals{}, errors.New("-wire-addr is required for the wire protocol")
-		}
-		addr = o.wireAddr
-	}
-	c, err := client.New(client.Options{
-		Addr:           addr,
+	copts := client.Options{
 		Protocol:       proto,
 		Conns:          o.conns,
 		RequestTimeout: o.timeout,
 		MaxRetries:     o.retries,
-	})
+		RetryBaseDelay: o.retryBase,
+		RetryMaxDelay:  o.retryMax,
+	}
+	if o.replicas != "" {
+		copts.Addrs = strings.Split(o.replicas, ",")
+		copts.Replication = o.replication
+	} else if proto == client.ProtoWire {
+		if o.wireAddr == "" {
+			return runTotals{}, errors.New("-wire-addr is required for the wire protocol")
+		}
+		copts.Addr = o.wireAddr
+	} else {
+		copts.Addr = o.addr
+	}
+	c, err := client.New(copts)
 	if err != nil {
 		return runTotals{}, err
 	}
@@ -339,6 +364,14 @@ func quantile(sorted []int64, q float64) int64 {
 	return sorted[idx]
 }
 
+// replicaCount is the fleet size driven: 1 without -replicas.
+func (o *options) replicaCount() int {
+	if o.replicas == "" {
+		return 1
+	}
+	return len(strings.Split(o.replicas, ","))
+}
+
 // report renders the merged tallies in the BENCH_*.json record shape,
 // tagged with the protocol they were measured over.
 func report(proto client.Protocol, o *options, m result, stats client.Stats, elapsed time.Duration) []map[string]any {
@@ -349,11 +382,13 @@ func report(proto client.Protocol, o *options, m result, stats client.Stats, ela
 			sum += v
 		}
 		rec := map[string]any{
-			"name":       name,
-			"proto":      string(proto),
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-			"runs":       len(ns),
-			"workers":    o.workers,
+			"name":        name,
+			"proto":       string(proto),
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"runs":        len(ns),
+			"workers":     o.workers,
+			"replicas":    o.replicaCount(),
+			"replication": o.replication,
 		}
 		if len(ns) > 0 {
 			rec["ns_per_op"] = sum / int64(len(ns))
@@ -365,18 +400,21 @@ func report(proto client.Protocol, o *options, m result, stats client.Stats, ela
 	}
 	total := len(m.readNs) + len(m.ingestNs)
 	totals := map[string]any{
-		"name":       "ServiceMixedTotals",
-		"proto":      string(proto),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"runs":       total,
-		"workers":    o.workers,
-		"duration_s": elapsed.Seconds(),
-		"rps":        float64(total) / elapsed.Seconds(),
-		"read_frac":  o.readFrac,
-		"retries":    stats.Retries,
-		"failures":   m.failures,
-		"queued":     m.queued,
-		"shed":       m.shed,
+		"name":        "ServiceMixedTotals",
+		"proto":       string(proto),
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"runs":        total,
+		"workers":     o.workers,
+		"replicas":    o.replicaCount(),
+		"replication": o.replication,
+		"duration_s":  elapsed.Seconds(),
+		"rps":         float64(total) / elapsed.Seconds(),
+		"read_frac":   o.readFrac,
+		"retries":     stats.Retries,
+		"failovers":   stats.Failovers,
+		"failures":    m.failures,
+		"queued":      m.queued,
+		"shed":        m.shed,
 	}
 	return []map[string]any{
 		mk("ServiceMixedRead", m.readNs),

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"selest/internal/errs"
+)
+
+func mustRing(t *testing.T, members []string, rf int) *Ring {
+	t.Helper()
+	r, err := New(members, rf)
+	if err != nil {
+		t.Fatalf("New(%v, %d): %v", members, rf, err)
+	}
+	return r
+}
+
+func fleet(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:7655", i+1)
+	}
+	return m
+}
+
+func keys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return out
+}
+
+// Removing a member must reassign exactly the keys that member owned —
+// every other key keeps its primary. This is THE rendezvous property:
+// movement ≈ K/n, not the ~K reshuffle a modulo router suffers.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	const n, k = 8, 4096
+	r := mustRing(t, fleet(n), 1)
+	victim := r.Members()[3]
+	shrunk, err := r.Remove(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys(k) {
+		before, after := r.Primary(key), shrunk.Primary(key)
+		if before == victim {
+			moved++
+			if after == victim {
+				t.Fatalf("key %q still routed to removed member", key)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %s → %s though %s was not removed",
+				key, before, after, victim)
+		}
+	}
+	// The victim owned ≈ K/n keys; allow a generous 2× band around the
+	// expectation so the test pins the property, not the hash's luck.
+	lo, hi := k/(2*n), 2*k/n
+	if moved < lo || moved > hi {
+		t.Fatalf("remove moved %d keys, want ≈ K/n = %d (band [%d, %d])", moved, k/n, lo, hi)
+	}
+}
+
+// Adding a member must steal ≈ K/(n+1) keys, all of which land on the
+// new member; nobody else's keys move anywhere.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	const n, k = 8, 4096
+	r := mustRing(t, fleet(n), 1)
+	newcomer := "10.0.1.1:7655"
+	grown, err := r.Add(newcomer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys(k) {
+		before, after := r.Primary(key), grown.Primary(key)
+		if after == before {
+			continue
+		}
+		moved++
+		if after != newcomer {
+			t.Fatalf("key %q moved %s → %s, but only %s joined", key, before, after, newcomer)
+		}
+	}
+	lo, hi := k/(2*(n+1)), 2*k/(n+1)
+	if moved < lo || moved > hi {
+		t.Fatalf("add moved %d keys, want ≈ K/(n+1) = %d (band [%d, %d])", moved, k/(n+1), lo, hi)
+	}
+}
+
+// With rf > 1, removing a member must leave each key's surviving
+// replicas in their old relative order: the filtered old preference list
+// is a prefix of the new one, and exactly one fresh member fills the
+// hole. Failover order is stable under membership change.
+func TestRingReplicaSetStableUnderRemove(t *testing.T) {
+	const n, k = 6, 2048
+	r := mustRing(t, fleet(n), 2)
+	victim := r.Members()[1]
+	shrunk, err := r.Remove(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys(k) {
+		before := r.Replicas(key)
+		after := shrunk.Replicas(key)
+		if len(after) != 2 {
+			t.Fatalf("key %q: %d replicas after remove, want 2", key, len(after))
+		}
+		var kept []string
+		for _, m := range before {
+			if m != victim {
+				kept = append(kept, m)
+			}
+		}
+		for i, m := range kept {
+			if after[i] != m {
+				t.Fatalf("key %q: survivors reordered: before %v, after %v", key, before, after)
+			}
+		}
+		for _, m := range after {
+			if m == victim {
+				t.Fatalf("key %q: removed member still in replica set %v", key, after)
+			}
+		}
+	}
+}
+
+// Preference lists are deterministic across independently built rings
+// and insensitive to member input order — the property that lets every
+// client route without coordination.
+func TestRingDeterminism(t *testing.T) {
+	members := fleet(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1]}
+	a := mustRing(t, members, 3)
+	b := mustRing(t, shuffled, 3)
+	for _, key := range keys(512) {
+		pa, pb := a.Replicas(key), b.Replicas(key)
+		if len(pa) != len(pb) {
+			t.Fatalf("length mismatch for %q", key)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("key %q: rings disagree: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// Ownership must stay within a constant factor of the fair share K/n.
+func TestRingBalance(t *testing.T) {
+	const n, k = 8, 65536
+	r := mustRing(t, fleet(n), 1)
+	counts := map[string]int{}
+	for _, key := range keys(k) {
+		counts[r.Primary(key)]++
+	}
+	fair := float64(k) / n
+	for _, m := range r.Members() {
+		share := float64(counts[m]) / fair
+		if share < 0.5 || share > 1.7 {
+			t.Fatalf("member %s owns %d keys (%.2f× fair share %v); distribution skewed: %v",
+				m, counts[m], share, fair, counts)
+		}
+	}
+}
+
+// Replica sets never repeat a member, and the first entry is Primary.
+func TestRingReplicasDistinct(t *testing.T) {
+	r := mustRing(t, fleet(4), 3)
+	for _, key := range keys(512) {
+		reps := r.Replicas(key)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(reps))
+		}
+		if reps[0] != r.Primary(key) {
+			t.Fatalf("key %q: Replicas()[0] %s != Primary() %s", key, reps[0], r.Primary(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("key %q: duplicate member %s in %v", key, m, reps)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingConstructionErrors(t *testing.T) {
+	if _, err := New(nil, 1); !errors.Is(err, errs.ErrBadOption) {
+		t.Fatalf("empty member list: got %v, want ErrBadOption", err)
+	}
+	if _, err := New([]string{"a", ""}, 1); !errors.Is(err, errs.ErrBadOption) {
+		t.Fatalf("empty member name: got %v, want ErrBadOption", err)
+	}
+	if _, err := New([]string{"a"}, 0); !errors.Is(err, errs.ErrBadOption) {
+		t.Fatalf("rf 0: got %v, want ErrBadOption", err)
+	}
+	r := mustRing(t, []string{"a", "a", "b"}, 5)
+	if r.Len() != 2 {
+		t.Fatalf("dedup: Len() = %d, want 2", r.Len())
+	}
+	if r.RF() != 2 {
+		t.Fatalf("rf clamp: RF() = %d, want 2", r.RF())
+	}
+	only := mustRing(t, []string{"a"}, 1)
+	if _, err := only.Remove("a"); !errors.Is(err, errs.ErrBadOption) {
+		t.Fatalf("removing last member: got %v, want ErrBadOption", err)
+	}
+}
+
+func BenchmarkClusterReplicas(b *testing.B) {
+	r, err := New(fleet(8), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]string, 0, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = r.AppendReplicas(dst[:0], "tenant-0042")
+	}
+}

@@ -168,6 +168,8 @@ func decodeCreateAttr(r io.Reader) (createAttrRequest, error) {
 //	POST /v1/estimate       — one range query
 //	POST /v1/estimate/batch — many range queries, one attribute
 //	POST /v1/ingest         — enqueue stream values (backpressured)
+//	GET  /v1/snapshot       — the crash-safe snapshot envelope (snapshot
+//	                          shipping: how a joining replica warm-boots)
 //	GET  /healthz           — liveness + drain state
 //	GET  /metrics           — Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -176,11 +178,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/estimate", s.wrap(s.handleEstimate))
 	mux.HandleFunc("/v1/estimate/batch", s.wrap(s.handleEstimateBatch))
 	mux.HandleFunc("/v1/ingest", s.wrap(s.handleIngest))
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.Handle("/metrics", telemetry.Handler())
 	return mux
+}
+
+// handleSnapshot serves the SELS envelope to a joining replica. It is a
+// GET registered outside wrap (which gates POSTs), but keeps the drain
+// gate: a draining daemon is about to write its final snapshot, and
+// shipping a pre-drain one would hand the newcomer a state the survivor
+// is already past. The envelope's own CRCs make the transfer
+// self-verifying; a torn download fails the joiner's recovery as
+// catalog.ErrTornSnapshot, never a silent partial boot.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: apiError{
+			Code: errcode.CodeMethodNotAllowed.String(), Message: "use GET",
+		}})
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, ErrDraining)
+		return
+	}
+	b, err := s.SnapshotBytes()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
 }
 
 // wrap is the shared robustness middleware: drain gate, deadline

@@ -26,6 +26,12 @@ var (
 	srvRecoveries    = telemetry.Default.Counter("selest_server_recoveries_total")
 	srvTornSnapshots = telemetry.Default.Counter("selest_server_torn_snapshots_total")
 	srvSnapshotSaves = telemetry.Default.Counter("selest_server_snapshot_saves_total")
+
+	// Scale-out telemetry: snapshots shipped to joining peers, and
+	// refusals from the box-wide (all-tenant) admission bucket — the
+	// capacity signal an operator watches to decide when to add replicas.
+	srvSnapshotFetches = telemetry.Default.Counter("selest_server_snapshot_fetches_total")
+	srvGlobalRejected  = telemetry.Default.Counter("selest_server_global_rejected_total")
 )
 
 // Wire-transport telemetry, kept as its own series (rather than folded

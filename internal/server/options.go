@@ -25,6 +25,17 @@ type Options struct {
 	// its payload size (one per estimate query, one per ingested value).
 	// QuotaRate <= 0 disables admission control.
 	QuotaRate, QuotaBurst float64
+	// GlobalRate/GlobalBurst cap the whole box's admitted request rate
+	// (requests per second, regardless of tenant or payload size) with
+	// one shared token bucket checked before any per-tenant quota.
+	// Refusals are ErrOverQuota with an exact Retry-After, identical to a
+	// tenant-quota refusal. This is overload protection for the process —
+	// the knob an operator sets to what one replica's hardware sustains —
+	// and the capacity model scripts/bench_cluster.sh uses to measure
+	// replica scaling on a shared host. Pings and health checks bypass
+	// it, so a saturated replica still answers "alive". GlobalRate <= 0
+	// disables the cap.
+	GlobalRate, GlobalBurst float64
 	// QueueCap bounds each attribute's ingest queue; overflow sheds the
 	// oldest queued values. Zero defaults to 8192.
 	QueueCap int
@@ -105,6 +116,12 @@ func (o *Options) Validate() error {
 	if o.QuotaRate > 0 && o.QuotaBurst == 0 {
 		return bad("QuotaRate %v needs a positive QuotaBurst", o.QuotaRate)
 	}
+	if math.IsNaN(o.GlobalRate) || math.IsInf(o.GlobalRate, 0) {
+		return bad("GlobalRate %v must be finite", o.GlobalRate)
+	}
+	if math.IsNaN(o.GlobalBurst) || math.IsInf(o.GlobalBurst, 0) || o.GlobalBurst < 0 {
+		return bad("GlobalBurst %v must be finite and non-negative", o.GlobalBurst)
+	}
 	if o.QueueCap < 0 {
 		return bad("QueueCap %d must be non-negative", o.QueueCap)
 	}
@@ -140,7 +157,19 @@ func NewServer(o Options) (*Server, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: o.withDefaults(), tenants: make(map[string]*tenant)}, nil
+	return newServer(o.withDefaults()), nil
+}
+
+func newServer(cfg Options) *Server {
+	s := &Server{cfg: cfg, tenants: make(map[string]*tenant)}
+	if cfg.GlobalRate > 0 {
+		burst := cfg.GlobalBurst
+		if burst <= 0 {
+			burst = cfg.GlobalRate // default: one second of headroom
+		}
+		s.global = newTokenBucket(cfg.GlobalRate, burst)
+	}
+	return s
 }
 
 // Config is the pre-Options name for the service configuration.
@@ -156,5 +185,5 @@ type Config = Options
 // Deprecated: use NewServer, which rejects invalid options with typed
 // errs.ErrBadOption errors.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), tenants: make(map[string]*tenant)}
+	return newServer(cfg.withDefaults())
 }

@@ -15,6 +15,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -55,6 +56,21 @@ func (s *Server) SaveSnapshot(path string) error {
 		srvSnapshotSaves.Inc()
 	}
 	return err
+}
+
+// SnapshotBytes serialises the whole service into the same SELS envelope
+// SaveSnapshot writes to disk, in memory. This is the payload of
+// snapshot shipping (OpSnapshotFetch / GET /v1/snapshot): because the
+// envelope is deterministic — sorted attributes, sorted samples — the
+// bytes a peer fetches are identical to the bytes a local SaveSnapshot
+// would have written, and the chaos suite pins that with bytes.Equal.
+func (s *Server) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.writeSnapshot(&buf, s.attributes()); err != nil {
+		return nil, err
+	}
+	srvSnapshotFetches.Inc()
+	return buf.Bytes(), nil
 }
 
 func (s *Server) writeSnapshot(w io.Writer, attrs []*attribute) error {
@@ -196,7 +212,17 @@ func (s *Server) Recover(path string) error {
 		return err
 	}
 	defer f.Close()
-	man, cat, err := readSnapshot(f)
+	return s.RecoverReader(f)
+}
+
+// RecoverReader warm-starts the server from a snapshot stream — the same
+// recovery as Recover, minus the file. It is how `selestd -join` boots
+// from a peer's shipped snapshot: the envelope's CRCs verify the
+// transfer (a truncated or corrupted stream is catalog.ErrTornSnapshot,
+// never a silent partial recovery), so shipping needs no checksum of its
+// own.
+func (s *Server) RecoverReader(r io.Reader) error {
+	man, cat, err := readSnapshot(r)
 	if err != nil {
 		if errors.Is(err, catalog.ErrTornSnapshot) {
 			srvTornSnapshots.Inc()

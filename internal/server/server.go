@@ -176,6 +176,11 @@ type tenant struct {
 type Server struct {
 	cfg Options
 
+	// global is the box-wide admission bucket (nil when GlobalRate is
+	// unset): one token per admitted request, any tenant, checked before
+	// the per-tenant quota.
+	global *tokenBucket
+
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 	nAttrs  int
@@ -312,6 +317,16 @@ func (s *Server) attr(tenantName, attrName string) (*attribute, error) {
 // duration the HTTP layer surfaces. Unknown tenants are admitted — they
 // fail with ErrNotFound downstream, which should not consume quota state.
 func (s *Server) Admit(tenantName string, cost int) (time.Duration, error) {
+	// The box-wide bucket charges one token per request whoever sent it:
+	// it models what the process can serve, so payload size (the
+	// per-tenant fairness dimension) does not enter.
+	if s.global != nil {
+		if ok, retry := s.global.take(1, time.Now()); !ok {
+			srvGlobalRejected.Inc()
+			srvRejected.Inc()
+			return retry, fmt.Errorf("%w: server at capacity", ErrOverQuota)
+		}
+	}
 	tn, err := s.tenantFor(tenantName)
 	if err != nil {
 		return 0, nil

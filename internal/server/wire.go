@@ -384,6 +384,19 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 		}
 		_ = req
 		cw.writeFrame(wire.Frame{Op: op | wire.RespFlag, ID: id})
+
+	case wire.OpSnapshotFetch:
+		req, err := wire.DecodeSnapshotFetchReq(payload)
+		if err != nil {
+			badReq(err)
+			return
+		}
+		// Tenant "" admits free: the fetcher is a joining replica, not a
+		// tenant, and throttling a warm boot only prolongs the window the
+		// newcomer answers from uniform.
+		reply(req.Meta, "", 1, func(ctx context.Context) ([]byte, error) {
+			return s.SnapshotBytes()
+		})
 	}
 }
 

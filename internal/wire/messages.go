@@ -108,6 +108,15 @@ type PingReq struct {
 	Meta
 }
 
+// SnapshotFetchReq is OpSnapshotFetch's payload: the meta alone. The
+// response payload is not a message struct — it is the server's SELS
+// snapshot envelope verbatim, already self-describing (magic, version,
+// CRC-checked manifest, checksummed catalog stream), so wrapping it in
+// another encoding would only add a copy.
+type SnapshotFetchReq struct {
+	Meta
+}
+
 // ErrorRes is OpError's payload: the transport-neutral error surface
 // (internal/errcode) plus the throttle hint that HTTP carries in
 // Retry-After.
@@ -211,6 +220,11 @@ func (r CreateAttrReq) Append(dst []byte) []byte {
 
 // Append encodes the request onto dst.
 func (r PingReq) Append(dst []byte) []byte {
+	return r.Meta.append(dst)
+}
+
+// Append encodes the request onto dst.
+func (r SnapshotFetchReq) Append(dst []byte) []byte {
 	return r.Meta.append(dst)
 }
 
@@ -439,6 +453,13 @@ func DecodeCreateAttrReq(p []byte) (CreateAttrReq, error) {
 func DecodePingReq(p []byte) (PingReq, error) {
 	d := dec{b: p}
 	r := PingReq{Meta: d.meta()}
+	return r, d.err()
+}
+
+// DecodeSnapshotFetchReq decodes an OpSnapshotFetch payload.
+func DecodeSnapshotFetchReq(p []byte) (SnapshotFetchReq, error) {
+	d := dec{b: p}
+	r := SnapshotFetchReq{Meta: d.meta()}
 	return r, d.err()
 }
 

@@ -77,6 +77,11 @@ const (
 	// OpPing is the connection health check (empty request and response
 	// payloads beyond the request meta).
 	OpPing Op = 0x05
+	// OpSnapshotFetch streams the server's crash-safe snapshot envelope
+	// (SnapshotFetchReq → the raw SELS bytes as the response payload) —
+	// the wire leg of snapshot shipping, how `selestd -join` warms a
+	// fresh replica from a peer.
+	OpSnapshotFetch Op = 0x06
 
 	// RespFlag marks a success response: request opcode | RespFlag.
 	RespFlag Op = 0x80
@@ -87,7 +92,7 @@ const (
 
 // IsRequest reports whether op is a request opcode this version knows.
 func (o Op) IsRequest() bool {
-	return o >= OpEstimate && o <= OpPing
+	return o >= OpEstimate && o <= OpSnapshotFetch
 }
 
 // String names the opcode for diagnostics.
@@ -103,6 +108,8 @@ func (o Op) String() string {
 		return "create_attr"
 	case OpPing:
 		return "ping"
+	case OpSnapshotFetch:
+		return "snapshot_fetch"
 	case OpError:
 		return "error"
 	}

@@ -13,7 +13,14 @@
 # Custom metrics from b.ReportMetric — e.g. the serve suite's "p99-ns"
 # latency percentiles — are carried through with '/' and '-' mapped to
 # '_' ("p99-ns" -> "p99_ns"), so every reported unit lands in the JSON.
+# When the REPLICAS env var is a number, every record gains a
+# "replicas" field — used by cluster sweeps so single-process and fleet
+# records stay distinguishable in one file.
 exec awk '
+BEGIN {
+    replicas = ENVIRON["REPLICAS"]
+    if (replicas !~ /^[0-9]+$/) replicas = ""
+}
 /^Benchmark/ {
     name = $1
     procs = 1
@@ -37,6 +44,7 @@ exec awk '
         } else continue
         rec = rec sprintf(", \"%s\": %s", key, val)
     }
+    if (replicas != "") rec = rec sprintf(", \"replicas\": %s", replicas)
     rec = rec "}"
     recs[n++] = rec
 }

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-cluster race-experiments race-fit race-refit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-refit bench-refit-quick benchstat-refit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick bench-cluster bench-cluster-quick ci
+.PHONY: build test vet staticcheck govulncheck race race-online race-serve race-service race-wire race-cluster race-experiments race-fit race-refit fuzz fuzz-query fuzz-server fuzz-wire bench bench-query bench-fit bench-fit-quick benchstat-fit bench-hotpath bench-hotpath-quick benchstat-hotpath bench-refit bench-refit-quick benchstat-refit bench-serve bench-serve-quick benchstat-serve bench-service bench-service-quick bench-cluster bench-cluster-quick ci
 
 build:
 	$(GO) build ./...
@@ -137,6 +137,37 @@ benchstat-fit:
 		echo "benchstat not installed or no BENCH_fit.txt baseline; skipping"; \
 	fi
 
+# The request-path hot-path ladder: the frame codec floor (encode,
+# decode, zero-copy views) and the server's inline fast path measured in
+# isolation and end-to-end over pipelined TCP. The allocs/op column is
+# the tentpole contract — every row must stay 0. Writes the raw output
+# to BENCH_hotpath.txt (the committed benchstat baseline) and the parsed
+# records to BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotpath' -benchmem -timeout 30m \
+		./internal/wire/ ./internal/server/ \
+		| tee /dev/stderr | tee BENCH_hotpath.txt | sh scripts/bench2json.sh > BENCH_hotpath.json
+
+# A fast sweep of the same benchmarks: smoke coverage that every
+# BenchmarkHotpath* still runs (and still reports 0 allocs under the
+# test pins), cheap enough for ci.
+bench-hotpath-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotpath' -benchtime 100x -timeout 10m \
+		./internal/wire/ ./internal/server/ > /dev/null
+
+# benchstat is optional tooling: when installed, diff a fresh quick run
+# of the hot-path benches against the committed BENCH_hotpath.txt
+# baseline; skip quietly on a bare Go toolchain.
+benchstat-hotpath:
+	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_hotpath.txt ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkHotpath' -benchmem -benchtime 100x -timeout 10m \
+			./internal/wire/ ./internal/server/ > BENCH_hotpath.head.txt; \
+		benchstat BENCH_hotpath.txt BENCH_hotpath.head.txt || true; \
+		rm -f BENCH_hotpath.head.txt; \
+	else \
+		echo "benchstat not installed or no BENCH_hotpath.txt baseline; skipping"; \
+	fi
+
 # The closed-form refit ladder: end-to-end online refit per bandwidth
 # rule at n = 1e4/1e5/1e6, the selector stage alone on a prebuilt
 # context, the copy+sort+index floor, and the 0-alloc query pin. Writes
@@ -249,4 +280,4 @@ race-refit:
 	$(GO) test -race -run 'ClosedForm' \
 		./internal/online/ ./internal/bandwidth/
 
-ci: vet staticcheck govulncheck test race race-experiments race-fit race-refit race-serve race-service race-wire race-cluster bench-fit-quick benchstat-fit bench-refit-quick benchstat-refit bench-serve-quick benchstat-serve bench-service-quick bench-cluster-quick
+ci: vet staticcheck govulncheck test race race-experiments race-fit race-refit race-serve race-service race-wire race-cluster bench-fit-quick benchstat-fit bench-refit-quick benchstat-refit bench-hotpath-quick benchstat-hotpath bench-serve-quick benchstat-serve bench-service-quick bench-cluster-quick

@@ -57,6 +57,32 @@ func (t *wireTransport) close() error {
 
 var errClosed = fmt.Errorf("client: closed")
 
+// payloadPool recycles request-encode and response-copy buffers across
+// calls — the client-side half of the wire fast path's zero-alloc frame
+// lifecycle. Buffers travel as *[]byte so Get/Put do not box a slice
+// header per call; every success path releases its buffer right after
+// decoding (decoded messages copy what they keep, so nothing aliases a
+// returned buffer).
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
+
+func putPayloadBuf(b *[]byte) {
+	if b != nil {
+		payloadPool.Put(b)
+	}
+}
+
+// wireResp is a routed response frame: the opcode plus its payload in a
+// pooled buffer the waiter releases after decoding.
+type wireResp struct {
+	op  wire.Op
+	buf *[]byte
+}
+
 // conn returns a live connection from the pool, dialing the slot if its
 // connection is nil or dead.
 func (t *wireTransport) conn(ctx context.Context) (*wireConn, error) {
@@ -87,7 +113,7 @@ func (t *wireTransport) conn(ctx context.Context) (*wireConn, error) {
 	wc := &wireConn{
 		c:          nc,
 		bw:         bufio.NewWriterSize(nc, 64<<10),
-		pending:    map[uint64]chan wire.Frame{},
+		pending:    map[uint64]chan wireResp{},
 		maxPayload: uint32(t.opts.MaxPayload),
 	}
 	wc.touch()
@@ -118,7 +144,9 @@ func (t *wireTransport) healthCheck(ctx context.Context) error {
 			live = true
 			continue
 		}
-		if _, _, err := wc.roundTrip(ctx, wire.OpPing, wire.PingReq{}.Append(nil)); err != nil {
+		_, rp, err := wc.roundTrip(ctx, wire.OpPing, wire.PingReq{}.Append(nil))
+		putPayloadBuf(rp)
+		if err != nil {
 			wc.fail(fmt.Errorf("client: health check: %w", err))
 			continue
 		}
@@ -131,8 +159,9 @@ func (t *wireTransport) healthCheck(ctx context.Context) error {
 }
 
 // roundTrip sends one request on any pooled connection and returns the
-// response payload, converting error frames to *APIError.
-func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+// response payload in a pooled buffer the caller must release with
+// putPayloadBuf after decoding, converting error frames to *APIError.
+func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byte) (*[]byte, error) {
 	wc, err := t.conn(ctx)
 	if err != nil {
 		return nil, err
@@ -145,7 +174,8 @@ func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byt
 	case op | wire.RespFlag:
 		return rp, nil
 	case wire.OpError:
-		er, derr := wire.DecodeErrorRes(rp)
+		er, derr := wire.DecodeErrorRes(*rp)
+		putPayloadBuf(rp)
 		if derr != nil {
 			wc.fail(derr)
 			return nil, derr
@@ -156,6 +186,7 @@ func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byt
 			RetryAfter: time.Duration(er.RetryAfterMs) * time.Millisecond,
 		}
 	default:
+		putPayloadBuf(rp)
 		err := fmt.Errorf("%w: response op %s to request %s", wire.ErrProtocol, rop, op)
 		wc.fail(err)
 		return nil, err
@@ -164,11 +195,15 @@ func (t *wireTransport) roundTrip(ctx context.Context, op wire.Op, payload []byt
 
 func (t *wireTransport) estimate(ctx context.Context, meta wire.Meta, tenant, attr string, lo, hi float64, fresh bool) (Result, error) {
 	req := wire.EstimateReq{Meta: meta, Tenant: tenant, Attr: attr, Lo: lo, Hi: hi, Fresh: fresh}
-	rp, err := t.roundTrip(ctx, wire.OpEstimate, req.Append(nil))
+	pb := getPayloadBuf()
+	*pb = req.Append((*pb)[:0])
+	rp, err := t.roundTrip(ctx, wire.OpEstimate, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := wire.DecodeEstimateRes(rp)
+	res, err := wire.DecodeEstimateRes(*rp)
+	putPayloadBuf(rp)
 	if err != nil {
 		return Result{}, err
 	}
@@ -180,11 +215,15 @@ func (t *wireTransport) estimateBatch(ctx context.Context, meta wire.Meta, tenan
 	for i, q := range queries {
 		req.Queries[i] = wire.Range{Lo: q.Lo, Hi: q.Hi}
 	}
-	rp, err := t.roundTrip(ctx, wire.OpEstimateBatch, req.Append(nil))
+	pb := getPayloadBuf()
+	*pb = req.Append((*pb)[:0])
+	rp, err := t.roundTrip(ctx, wire.OpEstimateBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return nil, err
 	}
-	res, err := wire.DecodeEstimateBatchRes(rp)
+	res, err := wire.DecodeEstimateBatchRes(*rp)
+	putPayloadBuf(rp)
 	if err != nil {
 		return nil, err
 	}
@@ -197,11 +236,15 @@ func (t *wireTransport) estimateBatch(ctx context.Context, meta wire.Meta, tenan
 
 func (t *wireTransport) ingest(ctx context.Context, meta wire.Meta, tenant, attr string, values []float64) (IngestResult, error) {
 	req := wire.IngestReq{Meta: meta, Tenant: tenant, Attr: attr, Values: values}
-	rp, err := t.roundTrip(ctx, wire.OpIngest, req.Append(nil))
+	pb := getPayloadBuf()
+	*pb = req.Append((*pb)[:0])
+	rp, err := t.roundTrip(ctx, wire.OpIngest, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return IngestResult{}, err
 	}
-	res, err := wire.DecodeIngestRes(rp)
+	res, err := wire.DecodeIngestRes(*rp)
+	putPayloadBuf(rp)
 	if err != nil {
 		return IngestResult{}, err
 	}
@@ -210,19 +253,31 @@ func (t *wireTransport) ingest(ctx context.Context, meta wire.Meta, tenant, attr
 
 func (t *wireTransport) createAttr(ctx context.Context, meta wire.Meta, tenant, attr string, cfgJSON []byte) error {
 	req := wire.CreateAttrReq{Meta: meta, Tenant: tenant, Attr: attr, Config: cfgJSON}
-	_, err := t.roundTrip(ctx, wire.OpCreateAttr, req.Append(nil))
+	rp, err := t.roundTrip(ctx, wire.OpCreateAttr, req.Append(nil))
+	putPayloadBuf(rp)
 	return err
 }
 
 func (t *wireTransport) ping(ctx context.Context, meta wire.Meta) error {
-	_, err := t.roundTrip(ctx, wire.OpPing, wire.PingReq{Meta: meta}.Append(nil))
+	pb := getPayloadBuf()
+	*pb = wire.PingReq{Meta: meta}.Append((*pb)[:0])
+	rp, err := t.roundTrip(ctx, wire.OpPing, *pb)
+	putPayloadBuf(pb)
+	putPayloadBuf(rp)
 	return err
 }
 
 // snapshotFetch pulls the server's full snapshot envelope. The response
-// payload is the raw SELS byte stream — no wrapper to decode.
+// payload is the raw SELS byte stream — no wrapper to decode — copied
+// out of the pooled buffer because the caller keeps it.
 func (t *wireTransport) snapshotFetch(ctx context.Context, meta wire.Meta) ([]byte, error) {
-	return t.roundTrip(ctx, wire.OpSnapshotFetch, wire.SnapshotFetchReq{Meta: meta}.Append(nil))
+	rp, err := t.roundTrip(ctx, wire.OpSnapshotFetch, wire.SnapshotFetchReq{Meta: meta}.Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), *rp...)
+	putPayloadBuf(rp)
+	return out, nil
 }
 
 func resultFromWire(r wire.EstimateRes) Result {
@@ -244,10 +299,11 @@ type wireConn struct {
 	c  net.Conn
 	bw *bufio.Writer
 
-	wmu sync.Mutex // serialises write+flush
+	wmu  sync.Mutex // serialises write+flush
+	wbuf []byte     // frame-encode scratch, owned by wmu
 
 	mu      sync.Mutex
-	pending map[uint64]chan wire.Frame
+	pending map[uint64]chan wireResp
 	isDead  bool
 	err     error
 
@@ -298,20 +354,28 @@ func (wc *wireConn) readLoop() {
 		}
 		wc.mu.Unlock()
 		if ok {
-			// The payload aliases the read buffer; copy before handing it
-			// across the channel.
-			fr.Payload = append([]byte(nil), fr.Payload...)
-			ch <- fr
+			// The payload aliases the read buffer; copy into a pooled
+			// buffer before handing it across the channel (the waiter
+			// releases it after decoding).
+			pb := getPayloadBuf()
+			*pb = append((*pb)[:0], fr.Payload...)
+			ch <- wireResp{op: fr.Op, buf: pb}
 		}
 		// An unmatched id is a response whose waiter gave up (context
 		// cancel); drop it.
 	}
 }
 
-func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (wire.Op, []byte, error) {
+// roundTrip registers a waiter, writes the frame through the per-conn
+// encode scratch (no per-call frame allocation), and waits. The returned
+// payload buffer is pooled — the caller releases it after decoding.
+func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (wire.Op, *[]byte, error) {
 	wc.touch()
+	if len(payload) > wire.MaxPayload {
+		return 0, nil, wire.ErrTooLarge
+	}
 	id := wc.nextID.Add(1)
-	ch := make(chan wire.Frame, 1)
+	ch := make(chan wireResp, 1)
 	wc.mu.Lock()
 	if wc.isDead {
 		err := wc.err
@@ -322,7 +386,8 @@ func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (
 	wc.mu.Unlock()
 
 	wc.wmu.Lock()
-	err := wire.WriteFrame(wc.bw, wire.Frame{Op: op, ID: id, Payload: payload})
+	wc.wbuf = wire.AppendFrame(wc.wbuf[:0], wire.Frame{Op: op, ID: id, Payload: payload})
+	_, err := wc.bw.Write(wc.wbuf)
 	if err == nil {
 		err = wc.bw.Flush()
 	}
@@ -334,7 +399,7 @@ func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (
 	}
 
 	select {
-	case fr, ok := <-ch:
+	case r, ok := <-ch:
 		if !ok {
 			wc.mu.Lock()
 			err := wc.err
@@ -342,7 +407,7 @@ func (wc *wireConn) roundTrip(ctx context.Context, op wire.Op, payload []byte) (
 			return 0, nil, err
 		}
 		wc.touch()
-		return fr.Op, fr.Payload, nil
+		return r.op, r.buf, nil
 	case <-ctx.Done():
 		wc.forget(id)
 		return 0, nil, ctx.Err()

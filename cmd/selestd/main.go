@@ -50,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -110,6 +111,7 @@ func main() {
 		joinTimeout     = flag.Duration("join-timeout", 30*time.Second, "budget for the -join snapshot fetch and recovery")
 		globalRate      = flag.Float64("global-rate", 0, "box-wide admission cap in requests/second across all tenants (0 = unlimited); used to pin per-replica capacity in cluster benchmarks")
 		globalBurst     = flag.Float64("global-burst", 0, "box-wide token-bucket burst (0 = one second at -global-rate)")
+		pprofAddr       = flag.String("pprof-addr", "", "net/http/pprof listen address (empty = disabled); see README \"Profiling\" for the recipe")
 	)
 	flag.Parse()
 	log.SetPrefix("selestd: ")
@@ -157,6 +159,28 @@ func main() {
 		default:
 			log.Printf("cold start: join %s failed (%v); serving cold", *join, err)
 		}
+	}
+
+	// The profiling listener gets its own mux (never the service mux, and
+	// not http.DefaultServeMux): the pprof endpoints stay off every
+	// serving address unless an operator binds them explicitly.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("listen pprof %s: %v", *pprofAddr, err)
+		}
+		fmt.Printf("selestd pprof listening on %s\n", pln.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

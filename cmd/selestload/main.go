@@ -152,6 +152,7 @@ func main() {
 		cmp := map[string]any{
 			"name":       "ServiceProtocolComparison",
 			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"host_cpus":  runtime.NumCPU(),
 			"workers":    o.workers,
 			"duration_s": o.duration.Seconds(),
 		}
@@ -385,6 +386,7 @@ func report(proto client.Protocol, o *options, m result, stats client.Stats, ela
 			"name":        name,
 			"proto":       string(proto),
 			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"host_cpus":   runtime.NumCPU(),
 			"runs":        len(ns),
 			"workers":     o.workers,
 			"replicas":    o.replicaCount(),
@@ -403,6 +405,7 @@ func report(proto client.Protocol, o *options, m result, stats client.Stats, ela
 		"name":        "ServiceMixedTotals",
 		"proto":       string(proto),
 		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"host_cpus":   runtime.NumCPU(),
 		"runs":        total,
 		"workers":     o.workers,
 		"replicas":    o.replicaCount(),

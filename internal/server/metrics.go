@@ -44,6 +44,13 @@ var (
 	srvWireReadErrors  = telemetry.Default.Counter("selest_server_wire_read_errors_total")
 	srvWireWriteErrors = telemetry.Default.Counter("selest_server_wire_write_errors_total")
 
+	// Fast-path telemetry (DESIGN.md §16): requests served inline on the
+	// reader goroutine (no dispatch goroutine, no payload copy) and
+	// response flushes deferred by the coalescing state machine (each one
+	// is a write syscall the pipelined burst did not pay).
+	srvWireInlineServed     = telemetry.Default.Counter("selest_server_wire_inline_served_total")
+	srvWireFlushesCoalesced = telemetry.Default.Counter("selest_server_wire_flushes_coalesced_total")
+
 	srvWireConns = telemetry.Default.Gauge("selest_server_wire_connections")
 
 	srvWireLatencyNanos = telemetry.Default.Histogram("selest_server_wire_request_nanos")

@@ -317,6 +317,15 @@ func (s *Server) attr(tenantName, attrName string) (*attribute, error) {
 // duration the HTTP layer surfaces. Unknown tenants are admitted — they
 // fail with ErrNotFound downstream, which should not consume quota state.
 func (s *Server) Admit(tenantName string, cost int) (time.Duration, error) {
+	tn, _ := s.tenantFor(tenantName)
+	return s.admitBucket(tn, cost)
+}
+
+// admitBucket is the bucket-charging core shared by Admit and the wire
+// fast path (which resolved the tenant from byte views already). A nil
+// tenant is admitted after the box-wide charge — it fails with
+// ErrNotFound downstream.
+func (s *Server) admitBucket(tn *tenant, cost int) (time.Duration, error) {
 	// The box-wide bucket charges one token per request whoever sent it:
 	// it models what the process can serve, so payload size (the
 	// per-tenant fairness dimension) does not enter.
@@ -327,17 +336,36 @@ func (s *Server) Admit(tenantName string, cost int) (time.Duration, error) {
 			return retry, fmt.Errorf("%w: server at capacity", ErrOverQuota)
 		}
 	}
-	tn, err := s.tenantFor(tenantName)
-	if err != nil {
+	if tn == nil {
 		return 0, nil
 	}
 	ok, retry := tn.bucket.take(float64(cost), time.Now())
 	if !ok {
 		srvRejected.Inc()
-		return retry, fmt.Errorf("%w: tenant %q", ErrOverQuota, tenantName)
+		return retry, fmt.Errorf("%w: tenant %q", ErrOverQuota, tn.name)
 	}
 	srvAdmitted.Inc()
 	return 0, nil
+}
+
+// lookupView resolves a (tenant, attribute) pair from byte views without
+// allocating: indexing a map by string(bytes) is the compiler's no-copy
+// special case, which is what lets the wire fast path run an entire
+// estimate round trip at zero allocations.
+func (s *Server) lookupView(tenantName, attrName []byte) (*tenant, *attribute, error) {
+	s.mu.RLock()
+	tn, ok := s.tenants[string(tenantName)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: tenant %q", ErrNotFound, tenantName)
+	}
+	tn.mu.RLock()
+	a, ok := tn.attrs[string(attrName)]
+	tn.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: attribute %q/%q", ErrNotFound, tenantName, attrName)
+	}
+	return tn, a, nil
 }
 
 // validRange rejects NaN and inverted bounds — the request is malformed,
@@ -414,6 +442,14 @@ func (s *Server) Estimate(ctx context.Context, tenantName, attrName string, lo, 
 		// A failed or abandoned flush is not an error: the ladder serves
 		// the snapshot it has.
 	}
+	return s.answer(a, lo, hi, r, requested), nil
+}
+
+// answer serves the snapshot → reservoir → uniform tail of the ladder
+// from rung r — the never-blocking, never-failing, zero-allocation part
+// shared by Estimate and the wire fast path (which skips the fresh rung
+// entirely and so needs no context).
+func (s *Server) answer(a *attribute, lo, hi float64, r, requested rung) EstimateResult {
 	sel, ok := a.est.SelectivityOK(lo, hi)
 	if !ok {
 		if vals := a.est.ReservoirValues(); len(vals) > 0 {
@@ -432,7 +468,7 @@ func (s *Server) Estimate(ctx context.Context, tenantName, attrName string, lo, 
 		Rung:        rungNames[r],
 		Generation:  a.est.Generation(),
 		Degraded:    r > requested,
-	}, nil
+	}
 }
 
 // RangeQuery is one [Lo, Hi] range.

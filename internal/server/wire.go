@@ -5,12 +5,19 @@
 // per-request panic containment, same errcode registry. Only the
 // envelope differs: a binary frame instead of an HTTP response.
 //
-// Concurrency model: one reader goroutine per connection decodes frames
-// and dispatches each request onto its own goroutine (bounded per
-// connection), so a slow fresh-estimate never head-of-line-blocks the
-// pipelined requests behind it; responses are written under a per-
-// connection mutex and may interleave in any order — the request id is
-// the correlation, exactly as DESIGN.md §13 specifies.
+// Concurrency model (DESIGN.md §16): one reader goroutine per
+// connection decodes frames and serves cheap read-only requests —
+// pings, non-fresh estimates, small non-fresh batches — *inline*, with
+// every buffer reused across frames, so the steady-state estimate round
+// trip spawns no goroutine, copies no payload, and allocates nothing.
+// Requests that may block (ingest, create_attr, snapshot_fetch, fresh
+// estimates, oversized batches) are dispatched onto their own goroutine
+// (bounded per connection), so a slow fresh-estimate never
+// head-of-line-blocks the pipelined requests behind it; responses are
+// written under a per-connection mutex and may interleave in any order —
+// the request id is the correlation, exactly as DESIGN.md §13 specifies.
+// Response flushes are coalesced: a burst of K pipelined requests is
+// answered with one write syscall, not K.
 //
 // Failure posture mirrors the HTTP transport: a malformed payload inside
 // a well-framed request is a typed error response on that request alone;
@@ -145,37 +152,139 @@ func (ws *WireServer) CloseConns() {
 	}
 }
 
-// connWriter serialises response frames from concurrent request
-// goroutines onto one connection.
+// connWriter serialises response frames from the reader goroutine's
+// inline fast path and concurrent request goroutines onto one
+// connection, and owns the flush-coalescing state machine (DESIGN.md
+// §16): an inline response is flushed immediately only when nothing else
+// is guaranteed to flush it sooner, so a pipelined burst of K requests
+// costs one write syscall instead of K.
 type connWriter struct {
 	mu sync.Mutex
 	bw *bufio.Writer
 	c  net.Conn
+
+	// dead latches on the first write or flush error: the socket is
+	// closed so the reader loop reaps the connection promptly, and every
+	// subsequent write is skipped instead of feeding a dead socket from
+	// still-pipelined goroutines.
+	dead bool
+
+	// inflight counts dispatched request goroutines whose response frame
+	// has not been written yet. The inline path may defer its flush while
+	// this is non-zero — the goroutine's own write, which always flushes,
+	// carries the buffered bytes out — because the count is decremented
+	// under mu together with that flush, so a non-zero observation under
+	// mu guarantees a future flush.
+	inflight atomic.Int64
+
+	// frame is the goroutine path's frame-encode scratch, reused under mu
+	// so async responses allocate nothing for framing either.
+	frame []byte
 }
 
-func (cw *connWriter) writeFrame(f wire.Frame) {
-	cw.mu.Lock()
-	defer cw.mu.Unlock()
+// die latches the write-error flag and closes the socket so the reader
+// loop's next ReadFrame fails and reaps the connection instead of
+// leaving it half-dead. Caller holds mu.
+func (cw *connWriter) die() {
+	if cw.dead {
+		return
+	}
+	cw.dead = true
 	// A write error leaves the connection for the reader loop to reap;
 	// there is no one to report it to but telemetry.
-	if err := wire.WriteFrame(cw.bw, f); err == nil {
-		if err := cw.bw.Flush(); err != nil {
-			srvWireWriteErrors.Inc()
-		}
-	} else {
-		srvWireWriteErrors.Inc()
+	srvWireWriteErrors.Inc()
+	_ = cw.c.Close()
+}
+
+// writeLocked buffers one encoded frame, reporting whether the
+// connection is still usable. Caller holds mu.
+func (cw *connWriter) writeLocked(b []byte) bool {
+	if cw.dead {
+		return false
 	}
+	if _, err := cw.bw.Write(b); err != nil {
+		cw.die()
+		return false
+	}
+	return true
+}
+
+// flushLocked pushes buffered responses to the socket. Caller holds mu.
+func (cw *connWriter) flushLocked() {
+	if cw.dead {
+		return
+	}
+	if err := cw.bw.Flush(); err != nil {
+		cw.die()
+	}
+}
+
+// writeInline writes a pre-encoded response frame from the reader
+// goroutine's fast path. readerIdle reports that the reader found no
+// further frame already buffered (it is about to block on the socket).
+// The flush is deferred — counted as coalesced — when more requests are
+// waiting (the burst's last response will flush for everyone) or a
+// request goroutine is still in flight (its always-flushing write
+// carries these bytes out).
+func (cw *connWriter) writeInline(b []byte, readerIdle bool) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if !cw.writeLocked(b) {
+		return
+	}
+	if readerIdle && cw.inflight.Load() == 0 {
+		cw.flushLocked()
+	} else {
+		srvWireFlushesCoalesced.Inc()
+	}
+}
+
+// writeFrameAsync encodes and writes f from a request goroutine, always
+// flushing, and releases the goroutine's inflight slot under the same
+// lock as the flush — the ordering writeInline's deferred flushes rely
+// on. Every dispatched goroutine writes exactly one response through
+// here (handle guarantees it, including on panic).
+func (cw *connWriter) writeFrameAsync(f wire.Frame) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	defer cw.inflight.Add(-1)
+	cw.frame = wire.AppendFrame(cw.frame[:0], f)
+	if cw.writeLocked(cw.frame) {
+		cw.flushLocked()
+	}
+}
+
+// writeFrameSync writes a reader-loop-emitted frame (protocol errors)
+// and flushes immediately.
+func (cw *connWriter) writeFrameSync(f wire.Frame) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.frame = wire.AppendFrame(cw.frame[:0], f)
+	if cw.writeLocked(cw.frame) {
+		cw.flushLocked()
+	}
+}
+
+// finalFlush pushes out anything the coalescing machine was still
+// holding when the reader loop exited — a client that pipelined
+// requests and half-closed its write side still gets every response.
+func (cw *connWriter) finalFlush() {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.flushLocked()
 }
 
 func (ws *WireServer) serveConn(c net.Conn) {
 	srvWireConns.Set(float64(ws.wireConnCount(c, +1)))
+	cw := &connWriter{bw: bufio.NewWriterSize(c, 64<<10), c: c}
 	defer func() {
 		srvWireConns.Set(float64(ws.wireConnCount(c, -1)))
+		cw.finalFlush()
 		c.Close()
 	}()
 
-	cw := &connWriter{bw: bufio.NewWriterSize(c, 64<<10), c: c}
 	br := bufio.NewReaderSize(c, 64<<10)
+	fp := &fastPath{ws: ws, cw: cw}
 	sem := make(chan struct{}, maxConnPipelined)
 	var buf []byte
 	for {
@@ -187,7 +296,7 @@ func (ws *WireServer) serveConn(c net.Conn) {
 				// The stream is corrupt: answer once (id 0 — after a
 				// framing error no id is trustworthy) and hang up.
 				srvWireProtoErrors.Inc()
-				cw.writeFrame(errorFrame(0, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
+				cw.writeFrameSync(errorFrame(0, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
 			} else if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				srvWireReadErrors.Inc()
 			}
@@ -195,12 +304,20 @@ func (ws *WireServer) serveConn(c net.Conn) {
 		}
 		if !f.Op.IsRequest() {
 			srvWireProtoErrors.Inc()
-			cw.writeFrame(errorFrame(f.ID, fmt.Errorf("%w: %v", ErrBadValue, wire.ErrUnknownOp), 0))
+			cw.writeFrameSync(errorFrame(f.ID, fmt.Errorf("%w: %v", ErrBadValue, wire.ErrUnknownOp), 0))
 			return
 		}
-		// The frame's payload aliases the read buffer, which the next
-		// ReadFrame reuses — copy before handing it to a goroutine.
+		// Cheap read-only requests are served right here on the reader
+		// goroutine; the payload is consumed before the next ReadFrame
+		// reuses its buffer, so no copy is needed either.
+		if fp.serve(f.Op, f.ID, f.Payload, br.Buffered() == 0) {
+			continue
+		}
+		// Everything else may block, so it gets its own goroutine — and
+		// since the frame's payload aliases the read buffer, a copy
+		// before handing it over.
 		payload := append([]byte(nil), f.Payload...)
+		cw.inflight.Add(1)
 		sem <- struct{}{}
 		ws.reqs.Add(1)
 		go func(op wire.Op, id uint64, payload []byte) {
@@ -209,6 +326,210 @@ func (ws *WireServer) serveConn(c net.Conn) {
 		}(f.Op, f.ID, payload)
 	}
 }
+
+// inlineBatchMax bounds the estimate_batch size served inline on the
+// reader goroutine: past it, the time spent answering under the ladder
+// would head-of-line-delay pipelined frames enough to matter, so larger
+// batches take the goroutine path.
+const inlineBatchMax = 64
+
+// fastPath is the reader goroutine's per-connection inline dispatcher:
+// cheap read-only ops — pings, non-fresh estimates, non-fresh batches up
+// to inlineBatchMax — are decoded, admitted, served, and encoded on the
+// reader goroutine itself, with every buffer reused across frames. No
+// goroutine handoff, no payload copy (the payload is consumed before the
+// next ReadFrame reuses its buffer), no context allocation (the rungs it
+// serves never block, so the deadline is a plain value checked as the
+// batch progresses), and no per-response allocation: the steady-state
+// estimate round trip is zero allocations server-side.
+//
+// A fresh estimate may flush a refit — that can block for a build — so
+// the fresh bit sends a request to the goroutine path no matter how
+// cheap it looks. Panic containment, the drain gate, admission, fault
+// injection, and telemetry are all replicated here: inline service must
+// be observationally identical to the goroutine path apart from speed.
+type fastPath struct {
+	ws *WireServer
+	cw *connWriter
+
+	payload []byte             // response-payload encode scratch
+	frame   []byte             // full-frame encode scratch
+	queries []wire.Range       // batch-decode scratch
+	results []wire.EstimateRes // batch-response scratch
+}
+
+// serve handles one request frame inline when it is cheap and safe to,
+// reporting whether the frame was consumed. Frames it declines go to the
+// goroutine path, which re-decodes from its own copy of the payload.
+func (fp *fastPath) serve(op wire.Op, id uint64, payload []byte, readerIdle bool) bool {
+	s := fp.ws.s
+	// Peek the fresh bit (and batch size) before committing: only
+	// requests whose every rung is non-blocking may run on the reader.
+	var (
+		est   wire.EstimateReqView
+		batch wire.EstimateBatchReqView
+		derr  error
+	)
+	switch op {
+	case wire.OpPing:
+	case wire.OpEstimate:
+		est, derr = wire.DecodeEstimateReqView(payload)
+		if derr == nil && est.Fresh {
+			return false
+		}
+	case wire.OpEstimateBatch:
+		batch, fp.queries, derr = wire.DecodeEstimateBatchReqView(payload, s.cfg.MaxBatch, fp.queries)
+		if derr == nil && (batch.Fresh || len(batch.Queries) > inlineBatchMax) {
+			return false
+		}
+	default:
+		return false
+	}
+
+	start := time.Now()
+	srvWireRequests.Inc()
+	srvWireInlineServed.Inc()
+	srvInflight.Set(float64(s.inflight.Add(1)))
+	defer func() {
+		srvInflight.Set(float64(s.inflight.Add(-1)))
+		srvWireLatencyNanos.ObserveSince(start)
+		if rec := recover(); rec != nil {
+			srvPanics.Inc()
+			fp.respondErr(id, fmt.Errorf("panic contained: %v", rec), 0, readerIdle)
+		}
+	}()
+	if s.draining.Load() {
+		fp.respondErr(id, ErrDraining, 0, readerIdle)
+		return true
+	}
+	if err := faultinject.Check(FaultHandler); err != nil {
+		fp.respondErr(id, err, 0, readerIdle)
+		return true
+	}
+	if derr != nil {
+		fp.respondErr(id, fmt.Errorf("%w: %v", ErrBadValue, derr), 0, readerIdle)
+		return true
+	}
+
+	switch op {
+	case wire.OpPing:
+		// Pings bypass admission (a saturated replica still answers
+		// "alive") but not the drain gate above — same as the goroutine
+		// path before them.
+		if _, err := wire.DecodePingReq(payload); err != nil {
+			fp.respondErr(id, fmt.Errorf("%w: %v", ErrBadValue, err), 0, readerIdle)
+			return true
+		}
+		fp.respond(op, id, nil, readerIdle)
+	case wire.OpEstimate:
+		fp.serveEstimate(est, id, readerIdle, start)
+	case wire.OpEstimateBatch:
+		fp.serveEstimateBatch(batch, id, readerIdle, start)
+	}
+	return true
+}
+
+// budget mirrors the goroutine path's timeout selection as a plain
+// duration — the inline rungs never block, so a deadline *value* checked
+// as work progresses replaces the per-request context allocation.
+func (fp *fastPath) budget(m wire.Meta) time.Duration {
+	if m.TimeoutMs > 0 {
+		return time.Duration(m.TimeoutMs) * time.Millisecond
+	}
+	return fp.ws.s.cfg.DefaultTimeout
+}
+
+func (fp *fastPath) serveEstimate(req wire.EstimateReqView, id uint64, readerIdle bool, start time.Time) {
+	s := fp.ws.s
+	if len(req.Tenant) == 0 || len(req.Attr) == 0 {
+		fp.respondErr(id, fmt.Errorf("%w: %v", ErrBadValue, errNameRequired), 0, readerIdle)
+		return
+	}
+	if req.Retry > 0 {
+		srvRetried.Inc()
+	}
+	tn, a, err := s.lookupView(req.Tenant, req.Attr)
+	if err != nil {
+		fp.respondErr(id, err, 0, readerIdle)
+		return
+	}
+	if retry, err := s.admitBucket(tn, 1); err != nil {
+		fp.respondErr(id, err, retry, readerIdle)
+		return
+	}
+	if err := validRange(req.Lo, req.Hi); err != nil {
+		fp.respondErr(id, err, 0, readerIdle)
+		return
+	}
+	if time.Since(start) >= fp.budget(req.Meta) {
+		fp.respondErr(id, errcode.ErrTimeout, 0, readerIdle)
+		return
+	}
+	res := s.answer(a, req.Lo, req.Hi, rungSnapshot, rungSnapshot)
+	fp.payload = estimateRes(res).Append(fp.payload[:0])
+	fp.respond(wire.OpEstimate, id, fp.payload, readerIdle)
+}
+
+func (fp *fastPath) serveEstimateBatch(req wire.EstimateBatchReqView, id uint64, readerIdle bool, start time.Time) {
+	s := fp.ws.s
+	if len(req.Tenant) == 0 || len(req.Attr) == 0 {
+		fp.respondErr(id, fmt.Errorf("%w: %v", ErrBadValue, errNameRequired), 0, readerIdle)
+		return
+	}
+	if req.Retry > 0 {
+		srvRetried.Inc()
+	}
+	tn, a, err := s.lookupView(req.Tenant, req.Attr)
+	if err != nil {
+		fp.respondErr(id, err, 0, readerIdle)
+		return
+	}
+	if retry, err := s.admitBucket(tn, len(req.Queries)); err != nil {
+		fp.respondErr(id, err, retry, readerIdle)
+		return
+	}
+	// Batch semantics as in EstimateBatch: empty batches and any
+	// malformed query reject the whole batch.
+	if len(req.Queries) == 0 {
+		fp.respondErr(id, fmt.Errorf("%w: empty batch", ErrBadRange), 0, readerIdle)
+		return
+	}
+	for _, q := range req.Queries {
+		if err := validRange(q.Lo, q.Hi); err != nil {
+			fp.respondErr(id, err, 0, readerIdle)
+			return
+		}
+	}
+	budget := fp.budget(req.Meta)
+	fp.results = fp.results[:0]
+	for i, q := range req.Queries {
+		// The deadline value is checked between rungs — the inline twin
+		// of the context the goroutine path would have watched.
+		if i&15 == 0 && time.Since(start) >= budget {
+			fp.respondErr(id, errcode.ErrTimeout, 0, readerIdle)
+			return
+		}
+		fp.results = append(fp.results, estimateRes(s.answer(a, q.Lo, q.Hi, rungSnapshot, rungSnapshot)))
+	}
+	fp.payload = wire.EstimateBatchRes{Results: fp.results}.Append(fp.payload[:0])
+	fp.respond(wire.OpEstimateBatch, id, fp.payload, readerIdle)
+}
+
+// respond frames a success payload into the per-conn scratch and hands
+// it to the coalescing writer.
+func (fp *fastPath) respond(op wire.Op, id uint64, payload []byte, readerIdle bool) {
+	fp.frame = wire.AppendFrame(fp.frame[:0], wire.Frame{Op: op | wire.RespFlag, ID: id, Payload: payload})
+	fp.cw.writeInline(fp.frame, readerIdle)
+}
+
+// respondErr frames a typed error response. Error paths are off the
+// zero-alloc contract (errorFrame allocates its message).
+func (fp *fastPath) respondErr(id uint64, err error, retry time.Duration, readerIdle bool) {
+	fp.frame = wire.AppendFrame(fp.frame[:0], errorFrame(id, err, retry))
+	fp.cw.writeInline(fp.frame, readerIdle)
+}
+
+var errNameRequired = errors.New("tenant and attr are required")
 
 // wireConnCount registers or unregisters a connection and returns the
 // new count for the gauge.
@@ -253,16 +574,16 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 		srvWireLatencyNanos.ObserveSince(start)
 		if rec := recover(); rec != nil {
 			srvPanics.Inc()
-			cw.writeFrame(errorFrame(id, fmt.Errorf("panic contained: %v", rec), 0))
+			cw.writeFrameAsync(errorFrame(id, fmt.Errorf("panic contained: %v", rec), 0))
 		}
 	}()
 	srvWireRequests.Inc()
 	if s.draining.Load() {
-		cw.writeFrame(errorFrame(id, ErrDraining, 0))
+		cw.writeFrameAsync(errorFrame(id, ErrDraining, 0))
 		return
 	}
 	if err := faultinject.Check(FaultHandler); err != nil {
-		cw.writeFrame(errorFrame(id, err, 0))
+		cw.writeFrameAsync(errorFrame(id, err, 0))
 		return
 	}
 
@@ -277,18 +598,18 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		if retry, err := s.Admit(tenant, cost); err != nil {
-			cw.writeFrame(errorFrame(id, err, retry))
+			cw.writeFrameAsync(errorFrame(id, err, retry))
 			return
 		}
 		out, err := serve(ctx)
 		if err != nil {
-			cw.writeFrame(errorFrame(id, err, 0))
+			cw.writeFrameAsync(errorFrame(id, err, 0))
 			return
 		}
-		cw.writeFrame(wire.Frame{Op: op | wire.RespFlag, ID: id, Payload: out})
+		cw.writeFrameAsync(wire.Frame{Op: op | wire.RespFlag, ID: id, Payload: out})
 	}
 	badReq := func(err error) {
-		cw.writeFrame(errorFrame(id, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
+		cw.writeFrameAsync(errorFrame(id, fmt.Errorf("%w: %v", ErrBadValue, err), 0))
 	}
 
 	switch op {
@@ -299,7 +620,7 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 			return
 		}
 		if req.Tenant == "" || req.Attr == "" {
-			badReq(errors.New("tenant and attr are required"))
+			badReq(errNameRequired)
 			return
 		}
 		reply(req.Meta, req.Tenant, 1, func(ctx context.Context) ([]byte, error) {
@@ -317,7 +638,7 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 			return
 		}
 		if req.Tenant == "" || req.Attr == "" {
-			badReq(errors.New("tenant and attr are required"))
+			badReq(errNameRequired)
 			return
 		}
 		reply(req.Meta, req.Tenant, len(req.Queries), func(ctx context.Context) ([]byte, error) {
@@ -343,7 +664,7 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 			return
 		}
 		if req.Tenant == "" || req.Attr == "" {
-			badReq(errors.New("tenant and attr are required"))
+			badReq(errNameRequired)
 			return
 		}
 		reply(req.Meta, req.Tenant, len(req.Values), func(ctx context.Context) ([]byte, error) {
@@ -361,7 +682,7 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 			return
 		}
 		if req.Tenant == "" || req.Attr == "" {
-			badReq(errors.New("tenant and attr are required"))
+			badReq(errNameRequired)
 			return
 		}
 		var cfg AttrConfig
@@ -383,7 +704,7 @@ func (ws *WireServer) handle(cw *connWriter, op wire.Op, id uint64, payload []by
 			return
 		}
 		_ = req
-		cw.writeFrame(wire.Frame{Op: op | wire.RespFlag, ID: id})
+		cw.writeFrameAsync(wire.Frame{Op: op | wire.RespFlag, ID: id})
 
 	case wire.OpSnapshotFetch:
 		req, err := wire.DecodeSnapshotFetchReq(payload)

@@ -1,0 +1,58 @@
+// Hot-path microbenchmarks for the frame codec — the per-frame floor
+// under every wire request. Run via `make bench-hotpath`; committed
+// baselines live in BENCH_hotpath.json.
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkHotpathFrameEncode(b *testing.B) {
+	f := Frame{Op: OpEstimate, ID: 7, Payload: testEstimatePayload()}
+	buf := AppendFrame(nil, f)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], f)
+	}
+}
+
+func BenchmarkHotpathFrameDecode(b *testing.B) {
+	raw := AppendFrame(nil, Frame{Op: OpEstimate, ID: 7, Payload: testEstimatePayload()})
+	r := bytes.NewReader(raw)
+	var buf []byte
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		var err error
+		_, buf, err = ReadFrame(r, MaxPayload, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathDecodeEstimateReqView(b *testing.B) {
+	p := testEstimatePayload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEstimateReqView(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathEncodeEstimateRes(b *testing.B) {
+	res := EstimateRes{Selectivity: 0.5, Rows: 512, Generation: 3, Rung: "snapshot"}
+	buf := res.Append(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = res.Append(buf[:0])
+	}
+}

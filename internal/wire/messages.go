@@ -328,6 +328,13 @@ func (d *dec) err() error {
 	return nil
 }
 
+// strBytes is the zero-copy twin of str: the returned slice aliases the
+// payload buffer, valid only as long as the buffer is.
+func (d *dec) strBytes() []byte {
+	n := d.uvarint()
+	return d.take(n)
+}
+
 // DecodeEstimateReq decodes an OpEstimate payload.
 func DecodeEstimateReq(p []byte) (EstimateReq, error) {
 	d := dec{b: p}
@@ -340,6 +347,76 @@ func DecodeEstimateReq(p []byte) (EstimateReq, error) {
 		Fresh:  d.bool(),
 	}
 	return r, d.err()
+}
+
+// EstimateReqView is EstimateReq with Tenant and Attr as byte views
+// aliasing the payload buffer instead of copied into fresh strings — the
+// zero-copy decode the server's inline fast path uses so a steady-state
+// estimate round trip allocates nothing. The views are valid only until
+// the frame buffer is reused by the next ReadFrame.
+type EstimateReqView struct {
+	Meta
+	Tenant, Attr []byte
+	Lo, Hi       float64
+	Fresh        bool
+}
+
+// DecodeEstimateReqView decodes an OpEstimate payload without copying
+// the string fields out of p.
+func DecodeEstimateReqView(p []byte) (EstimateReqView, error) {
+	d := dec{b: p}
+	r := EstimateReqView{
+		Meta:   d.meta(),
+		Tenant: d.strBytes(),
+		Attr:   d.strBytes(),
+		Lo:     d.f64(),
+		Hi:     d.f64(),
+		Fresh:  d.bool(),
+	}
+	return r, d.err()
+}
+
+// EstimateBatchReqView is the zero-copy twin of EstimateBatchReq:
+// Tenant/Attr alias the payload and Queries live in caller-owned scratch.
+type EstimateBatchReqView struct {
+	Meta
+	Tenant, Attr []byte
+	Fresh        bool
+	Queries      []Range
+}
+
+// DecodeEstimateBatchReqView decodes an OpEstimateBatch payload without
+// copying the string fields; the ranges are decoded into queries
+// (reused when capacity allows, grown otherwise), which is returned so
+// the caller keeps the scratch across frames. maxBatch bounds the count
+// as in DecodeEstimateBatchReq.
+func DecodeEstimateBatchReqView(p []byte, maxBatch int, queries []Range) (EstimateBatchReqView, []Range, error) {
+	d := dec{b: p}
+	r := EstimateBatchReqView{
+		Meta:   d.meta(),
+		Tenant: d.strBytes(),
+		Attr:   d.strBytes(),
+		Fresh:  d.bool(),
+	}
+	n := d.uvarint()
+	if d.bad {
+		return r, queries, ErrMalformed
+	}
+	if maxBatch > 0 && n > maxBatch {
+		return r, queries, ErrTooLarge
+	}
+	if len(d.b) < 16*n {
+		return r, queries, ErrMalformed
+	}
+	if cap(queries) < n {
+		queries = make([]Range, n)
+	}
+	queries = queries[:n]
+	for i := range queries {
+		queries[i] = Range{Lo: d.f64(), Hi: d.f64()}
+	}
+	r.Queries = queries
+	return r, queries, d.err()
 }
 
 // DecodeEstimateRes decodes an OpEstimate response payload.

@@ -38,6 +38,13 @@
 # replica), BURST (RATE/10), RETRIES (256), REPLICATION (1), SET
 # ("1 2 4"), OUT (BENCH_cluster.json), TXT (BENCH_cluster.txt, "-" to
 # skip).
+#
+# RATE=0 is the uncapped mode for multi-core hosts: daemons run with no
+# admission cap (still GOMAXPROCS=1 each), so with cores >= replicas the
+# 1-CPU caveat above is lifted and the speedups measure raw scaling, a
+# core per daemon. On a host with fewer cores than replicas the fleet
+# timeshares and the numbers mean nothing — the recorded host_cpus and
+# rate_cap_rps=0 keep such a run from being mistaken for a capped one.
 set -e
 
 GO=${GO:-go}
@@ -46,9 +53,16 @@ WORKERS=${WORKERS:-16}
 TENANTS=${TENANTS:-256}
 SEED_VALUES=${SEED_VALUES:-1024}
 RATE=${RATE:-800}
-# A tight burst keeps the cap crisp over short runs (the default burst
-# of one full second at RATE would inflate a 6s measurement by ~17%).
-BURST=${BURST:-$((RATE / 10))}
+if [ "$RATE" = "0" ]; then
+    # Uncapped: -global-rate 0 disables the box-wide bucket entirely
+    # (burst is ignored but must not divide by zero below).
+    BURST=${BURST:-0}
+else
+    # A tight burst keeps the cap crisp over short runs (the default
+    # burst of one full second at RATE would inflate a 6s measurement
+    # by ~17%).
+    BURST=${BURST:-$((RATE / 10))}
+fi
 # Deep retry budget: at full contention an attempt's success odds are
 # roughly cap/poll-rate, so a worker occasionally strings dozens of
 # refusals together; the budget must make that streak's failure odds
@@ -135,8 +149,13 @@ for R in $SET; do
         exit 1
     fi
     eval "RPS_$R=\$RPS"
-    printf 'replicas=%s  rate_cap=%s/replica  aggregate_rps=%.0f  failures=%s\n' \
-        "$R" "$RATE" "$RPS" "$FAILS" >> "$SUMMARY"
+    if [ "$RATE" = "0" ]; then
+        CAP_DESC="uncapped (host_cpus=$HOST_CPUS)"
+    else
+        CAP_DESC="$RATE/replica"
+    fi
+    printf 'replicas=%s  rate_cap=%s  aggregate_rps=%.0f  failures=%s\n' \
+        "$R" "$CAP_DESC" "$RPS" "$FAILS" >> "$SUMMARY"
 
     if [ "$R" = "1" ]; then
         # Join smoke: a fresh daemon warm-boots from the loaded replica's
